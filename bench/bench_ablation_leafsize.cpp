@@ -1,0 +1,50 @@
+// Ablation: leaf capacity.  The paper (S6.2): "We have tried other size of
+// leaf nodes, but the size of 64 performs the best in general."
+//
+// The RNTree leaf capacity is a compile-time constant (the slot array is one
+// cache line), so this ablation explores the same trade-off through the
+// nearest runtime proxy available in this codebase: wB+tree-SO (7-entry
+// leaves, the paper's own small-leaf data point) against the 64-entry
+// designs, plus the inner-tree depth effect measured directly.
+#include "tree_zoo.hpp"
+
+namespace rnt::bench {
+namespace {
+
+template <typename Factory>
+void run_one(const BenchOptions& opt) {
+  nvm::PmemPool pool(opt.pool_size());
+  auto tree = Factory::make(pool);
+  warm_tree(*tree, opt.warm);
+  Xoshiro256 rng(opt.seed);
+  std::uint64_t fresh = opt.warm;
+  const double find_rate = measure_rate(opt.seconds, [&](std::uint64_t) {
+    (void)tree->find(nth_key(rng.next_below(opt.warm)));
+  });
+  const double insert_rate = measure_rate(opt.seconds, [&](std::uint64_t) {
+    (void)tree->insert(nth_key(fresh++), 1);
+  });
+  print_row(Factory::kName,
+            {static_cast<double>(tree->leaf_count()),
+             static_cast<double>(tree->height()), find_rate / 1e6,
+             insert_rate / 1e6});
+}
+
+}  // namespace
+}  // namespace rnt::bench
+
+int main(int argc, char** argv) {
+  using namespace rnt::bench;
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.apply_nvm_config();
+
+  print_header("Ablation: leaf capacity (7-entry vs 63-entry leaves)",
+               {"leaves", "height", "find-Mops", "ins-Mops"});
+  run_one<MakeRNTreeDS>(opt);
+  run_one<MakeWBTree>(opt);
+  run_one<MakeWBTreeSO>(opt);
+  print_note("7-entry leaves (wB+tree-SO) need ~9x the leaves and a deeper");
+  print_note("inner tree; the same 2 persists/insert buy less because splits");
+  print_note("are ~9x more frequent - the paper's argument for capacity 64");
+  return 0;
+}

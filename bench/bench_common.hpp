@@ -1,0 +1,140 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every bench prints the series/rows of one table or figure from the paper.
+// Defaults are sized to finish in tens of seconds on a small machine; pass
+// --paper for the paper's full parameters (16M warm keys, 5 s per op).
+//
+// Common flags:
+//   --paper            paper-scale parameters
+//   --warm=N           warm-up key count
+//   --seconds=S        measure duration per op
+//   --write-ns=N       NVM write latency to inject (default 140, the paper's
+//                      NVDIMM write latency; 0 = DRAM-speed)
+//   --seed=N           workload seed
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "nvm/persist.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt::bench {
+
+struct BenchOptions {
+  std::uint64_t warm = 200'000;
+  /// Request-distribution key space for the simulated contention figures
+  /// (8, 9, 10).  Calibrated so the simulator's hot-leaf pressure matches
+  /// the per-op latencies the paper reports in Fig 9 — ideal YCSB-Zipf over
+  /// the full 16M keys produces far less concentration than the paper's
+  /// measured contention implies (see EXPERIMENTS.md).
+  std::uint64_t hot_keys = 20'000;
+  double seconds = 0.5;
+  double remove_seconds = 0.1;
+  std::uint32_t write_ns = 140;
+  std::uint32_t per_line_ns = 2;
+  std::uint64_t seed = 42;
+  bool paper = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        const std::size_t n = std::strlen(prefix);
+        return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+      };
+      if (a == "--paper") {
+        o.paper = true;
+        o.warm = 16'000'000;
+        o.seconds = 5.0;
+      } else if (const char* v = val("--warm=")) {
+        o.warm = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--hot-keys=")) {
+        o.hot_keys = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--seconds=")) {
+        o.seconds = std::strtod(v, nullptr);
+      } else if (const char* v = val("--write-ns=")) {
+        o.write_ns = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = val("--seed=")) {
+        o.seed = std::strtoull(v, nullptr, 10);
+      } else if (a == "--help" || a == "-h") {
+        std::printf(
+            "flags: --paper --warm=N --hot-keys=N --seconds=S --write-ns=N --seed=N\n");
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  void apply_nvm_config() const {
+    nvm::config().write_latency_ns = write_ns;
+    nvm::config().per_line_ns = per_line_ns;
+  }
+
+  /// Pool size comfortably holding `warm` keys for the fattest leaf design.
+  std::size_t pool_size(double growth_factor = 2.0) const {
+    const std::size_t bytes =
+        static_cast<std::size_t>(static_cast<double>(warm) * 80.0 * growth_factor);
+    return std::max<std::size_t>(bytes, std::size_t{64} << 20);
+  }
+};
+
+/// Bijective key scrambler: warm keys are mix64(0..warm-1); fresh insert
+/// keys continue at mix64(warm + j).  Distinct, uniformly spread.
+inline std::uint64_t nth_key(std::uint64_t i) { return mix64(i); }
+
+/// Closed-loop single-thread measurement: run `op(i)` until the deadline,
+/// return executed ops per second.  `op` receives a sequence number.
+template <typename Fn>
+double measure_rate(double seconds, Fn&& op) {
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  std::uint64_t ops = 0;
+  const std::uint64_t t0 = now_ns();
+  for (;;) {
+    for (int i = 0; i < 64; ++i) {
+      op(ops);
+      ++ops;
+    }
+    if (now_ns() >= deadline) break;
+  }
+  const double elapsed = static_cast<double>(now_ns() - t0) * 1e-9;
+  return static_cast<double>(ops) / elapsed;
+}
+
+// --- table printing -------------------------------------------------------
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s", "");
+  for (const auto& c : cols) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(const std::string& name, const std::vector<double>& vals,
+                      const char* fmt = "%14.3f") {
+  std::printf("%-14s", name.c_str());
+  for (double v : vals) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void print_note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("  # ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+}  // namespace rnt::bench

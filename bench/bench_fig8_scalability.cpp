@@ -1,0 +1,60 @@
+// Figure 8: throughput vs thread count (simulated multicore; see DESIGN.md
+// for why the scalability experiments run on the DES substrate).
+//
+//   (a) YCSB-A, uniform keys      — every tree scales near-linearly
+//   (b) YCSB-A, Zipfian theta=0.8 — FPTree stops scaling after a few
+//       threads; RNTree ~1.8x ahead at 24 threads
+//   (c) 90% read / 10% update, Zipfian 0.8 — RNTree+DS near-linear
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+
+namespace {
+
+using namespace rnt::bench;
+using namespace rnt::sim;
+
+void run_panel(const char* title, double theta, int update_pct,
+               std::uint64_t keys, std::uint64_t horizon) {
+  const int thread_counts[] = {1, 2, 4, 8, 12, 16, 20, 24};
+  print_header(title, {"1", "2", "4", "8", "12", "16", "20", "24"});
+  const TreeModel models[] = {TreeModel::kRNTree, TreeModel::kRNTreeDS,
+                              TreeModel::kFPTree};
+  const char* names[] = {"RNTree", "RNTree+DS", "FPTree"};
+  for (int m = 0; m < 3; ++m) {
+    std::vector<double> row;
+    for (const int t : thread_counts) {
+      SimConfig cfg;
+      cfg.model = models[m];
+      cfg.threads = t;
+      cfg.zipf_theta = theta;
+      cfg.update_pct = update_pct;
+      cfg.keys = keys;
+      cfg.horizon_ns = horizon;
+      row.push_back(run_simulation(cfg).mops);
+    }
+    print_row(names[m], row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  const std::uint64_t keys = opt.paper ? 16'000'000 : opt.hot_keys;
+  const std::uint64_t horizon = opt.paper ? 200'000'000 : 50'000'000;
+
+  run_panel("Figure 8(a): YCSB-A uniform - throughput (Mops/s) vs threads",
+            0.0, 50, keys, horizon);
+  print_note("paper shape: both FPTree and RNTree scale linearly");
+
+  run_panel("Figure 8(b): YCSB-A Zipfian 0.8 - throughput (Mops/s) vs threads",
+            0.8, 50, keys, horizon);
+  print_note("paper shape: FPTree scales only to ~4 threads; RNTree[+DS]");
+  print_note("~1.8x higher than FPTree at 24 threads");
+
+  run_panel(
+      "Figure 8(c): skewed read-intensive (90/10) - throughput (Mops/s)",
+      0.8, 10, keys, horizon);
+  print_note("paper shape: RNTree+DS near-linear; RNTree better than FPTree");
+  return 0;
+}

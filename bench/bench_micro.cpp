@@ -1,0 +1,146 @@
+// Micro-benchmarks of the primitive costs everything else builds on:
+// persist instructions (with and without injected latency), CAS log
+// allocation, seqlock snapshots, version-lock operations, slot-array
+// updates, Zipfian generation, and single leaf-level operations per tree.
+//
+// These numbers calibrate the discrete-event simulator's stage costs (see
+// src/sim) and make the injected-latency model auditable.
+#include <benchmark/benchmark.h>
+
+#include "core/rntree.hpp"
+#include "core/slot_util.hpp"
+#include "htm/rtm.hpp"
+#include "htm/seqlock.hpp"
+#include "htm/version_lock.hpp"
+#include "nvm/persist.hpp"
+#include "nvm/pool.hpp"
+#include "workload/zipfian.hpp"
+
+namespace {
+
+using namespace rnt;
+
+void BM_PersistOneLine_NoLatency(benchmark::State& state) {
+  nvm::config().write_latency_ns = 0;
+  nvm::config().per_line_ns = 0;
+  alignas(64) char buf[64];
+  for (auto _ : state) nvm::persist(buf, 64);
+}
+BENCHMARK(BM_PersistOneLine_NoLatency);
+
+void BM_PersistOneLine_140ns(benchmark::State& state) {
+  nvm::config().write_latency_ns = 140;
+  nvm::config().per_line_ns = 2;
+  alignas(64) char buf[64];
+  for (auto _ : state) nvm::persist(buf, 64);
+  nvm::config().write_latency_ns = 0;
+}
+BENCHMARK(BM_PersistOneLine_140ns);
+
+void BM_PersistWholeLeaf_140ns(benchmark::State& state) {
+  nvm::config().write_latency_ns = 140;
+  nvm::config().per_line_ns = 2;
+  alignas(64) char buf[1216];
+  for (auto _ : state) nvm::persist(buf, sizeof(buf));
+  nvm::config().write_latency_ns = 0;
+}
+BENCHMARK(BM_PersistWholeLeaf_140ns);
+
+void BM_CasAllocate(benchmark::State& state) {
+  std::atomic<std::uint32_t> nlogs{0};
+  for (auto _ : state) {
+    std::uint32_t e = nlogs.load(std::memory_order_relaxed);
+    nlogs.compare_exchange_weak(e, e + 1, std::memory_order_acq_rel);
+    if (nlogs.load(std::memory_order_relaxed) > 1u << 20)
+      nlogs.store(0, std::memory_order_relaxed);
+  }
+}
+BENCHMARK(BM_CasAllocate);
+
+void BM_SeqlockSnapshot(benchmark::State& state) {
+  htm::SeqCounter seq;
+  alignas(64) std::uint8_t slot[64] = {};
+  alignas(64) std::uint8_t snap[64];
+  for (auto _ : state) {
+    const std::uint32_t s = seq.read_begin();
+    std::memcpy(snap, slot, 64);
+    benchmark::DoNotOptimize(seq.read_validate(s));
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_SeqlockSnapshot);
+
+void BM_VersionLockCycle(benchmark::State& state) {
+  htm::VersionLock vl;
+  for (auto _ : state) {
+    vl.lock();
+    vl.unlock();
+  }
+}
+BENCHMARK(BM_VersionLockCycle);
+
+void BM_AtomicExec(benchmark::State& state) {
+  htm::SpinLock fb;
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    htm::atomic_exec(fb, [&] { ++x; });
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_AtomicExec);
+
+void BM_SlotInsert(benchmark::State& state) {
+  struct E {
+    std::uint64_t key, value;
+  };
+  alignas(64) std::uint8_t slot[64] = {};
+  E logs[64];
+  for (int i = 0; i < 64; ++i) logs[i] = {static_cast<std::uint64_t>(i) * 2, 0};
+  for (auto _ : state) {
+    slot[0] = 32;
+    for (int i = 0; i < 32; ++i) slot[1 + i] = static_cast<std::uint8_t>(i);
+    const int pos = core::slot_lower_bound(slot, logs, std::uint64_t{33});
+    core::slot_insert_at(slot, pos, 40);
+    benchmark::DoNotOptimize(slot);
+  }
+}
+BENCHMARK(BM_SlotInsert);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ZipfianGenerator gen(1 << 20, 0.8, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_ScrambledZipfianNext(benchmark::State& state) {
+  workload::ScrambledZipfianGenerator gen(1 << 20, 0.99, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_ScrambledZipfianNext);
+
+void BM_RNTreeFind(benchmark::State& state) {
+  nvm::config().write_latency_ns = 0;
+  nvm::PmemPool pool(std::size_t{128} << 20);
+  core::RNTree<> tree(pool);
+  for (std::uint64_t i = 0; i < 100'000; ++i) tree.upsert(mix64(i), i);
+  Xoshiro256 rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tree.find(mix64(rng.next_below(100'000))));
+}
+BENCHMARK(BM_RNTreeFind);
+
+void BM_RNTreeUpsert_140ns(benchmark::State& state) {
+  nvm::config().write_latency_ns = 140;
+  nvm::config().per_line_ns = 2;
+  nvm::PmemPool pool(std::size_t{512} << 20);
+  core::RNTree<> tree(pool);
+  for (std::uint64_t i = 0; i < 100'000; ++i) tree.upsert(mix64(i), i);
+  Xoshiro256 rng(7);
+  for (auto _ : state) tree.upsert(mix64(rng.next_below(100'000)), 1);
+  nvm::config().write_latency_ns = 0;
+}
+BENCHMARK(BM_RNTreeUpsert_140ns);
+
+}  // namespace
+
+BENCHMARK_MAIN();

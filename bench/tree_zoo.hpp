@@ -1,0 +1,96 @@
+// The "tree zoo": uniform construction/warm-up over all six compared tree
+// configurations (paper S6): RNTree, RNTree+DS, NVTree, wB+tree, wB+tree-SO,
+// FPTree.  Benchmarks iterate the zoo with a generic callable thanks to the
+// trees' shared duck-typed API (insert/update/upsert/remove/find/scan_n).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/cdds.hpp"
+#include "baselines/fptree.hpp"
+#include "baselines/nvtree.hpp"
+#include "baselines/wbtree.hpp"
+#include "bench_common.hpp"
+#include "core/rntree.hpp"
+
+namespace rnt::bench {
+
+using RN = core::RNTree<std::uint64_t, std::uint64_t>;
+using NV = baselines::NVTree<std::uint64_t, std::uint64_t>;
+using WB = baselines::WBTree<std::uint64_t, std::uint64_t>;
+using WBSO = baselines::WBTreeSO<std::uint64_t, std::uint64_t>;
+using FP = baselines::FPTree<std::uint64_t, std::uint64_t>;
+
+struct MakeRNTree {
+  static constexpr const char* kName = "RNTree";
+  static std::unique_ptr<RN> make(nvm::PmemPool& pool) {
+    return std::make_unique<RN>(pool, RN::Options{.dual_slot = false});
+  }
+};
+struct MakeRNTreeDS {
+  static constexpr const char* kName = "RNTree+DS";
+  static std::unique_ptr<RN> make(nvm::PmemPool& pool) {
+    return std::make_unique<RN>(pool, RN::Options{.dual_slot = true});
+  }
+};
+struct MakeNVTree {
+  static constexpr const char* kName = "NVTree";
+  static std::unique_ptr<NV> make(nvm::PmemPool& pool) {
+    return std::make_unique<NV>(pool);  // basic: non-conditional
+  }
+};
+struct MakeNVTreeCond {
+  static constexpr const char* kName = "NVTree-cond";
+  static std::unique_ptr<NV> make(nvm::PmemPool& pool) {
+    return std::make_unique<NV>(pool, NV::Options{.conditional_write = true});
+  }
+};
+struct MakeWBTree {
+  static constexpr const char* kName = "wB+tree";
+  static std::unique_ptr<WB> make(nvm::PmemPool& pool) {
+    return std::make_unique<WB>(pool);
+  }
+};
+struct MakeWBTreeSO {
+  static constexpr const char* kName = "wB+tree-SO";
+  static std::unique_ptr<WBSO> make(nvm::PmemPool& pool) {
+    return std::make_unique<WBSO>(pool);
+  }
+};
+struct MakeFPTree {
+  static constexpr const char* kName = "FPTree";
+  static std::unique_ptr<FP> make(nvm::PmemPool& pool) {
+    return std::make_unique<FP>(pool);
+  }
+};
+struct MakeCDDS {
+  static constexpr const char* kName = "CDDS";
+  static std::unique_ptr<baselines::CDDSTree<std::uint64_t, std::uint64_t>>
+  make(nvm::PmemPool& pool) {
+    return std::make_unique<baselines::CDDSTree<std::uint64_t, std::uint64_t>>(
+        pool);
+  }
+};
+
+/// Warm a tree with `n` scrambled distinct keys (value = key+1).
+template <typename Tree>
+void warm_tree(Tree& tree, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t k = nth_key(i);
+    tree.upsert(k, k + 1);
+  }
+}
+
+/// Invoke fn.template operator()<Factory>() for every tree in Fig 4's zoo.
+template <typename Fn>
+void for_each_tree(Fn&& fn) {
+  fn.template operator()<MakeRNTree>();
+  fn.template operator()<MakeRNTreeDS>();
+  fn.template operator()<MakeNVTree>();
+  fn.template operator()<MakeWBTree>();
+  fn.template operator()<MakeWBTreeSO>();
+  fn.template operator()<MakeFPTree>();
+}
+
+}  // namespace rnt::bench

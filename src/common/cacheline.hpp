@@ -1,0 +1,38 @@
+// Cache-line constants and alignment helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rnt {
+
+/// Cache-line size assumed throughout the library.  The paper's central
+/// argument is that HTM raises the atomic-write size from 8 B to one cache
+/// line; all leaf layouts are specified in units of this constant.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Round @p n up to the next multiple of @p align (power of two).
+constexpr std::uint64_t align_up(std::uint64_t n, std::uint64_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Round @p n down to a multiple of @p align (power of two).
+constexpr std::uint64_t align_down(std::uint64_t n, std::uint64_t align) noexcept {
+  return n & ~(align - 1);
+}
+
+/// Address of the cache line containing @p p.
+inline std::uintptr_t line_of(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) & ~(std::uintptr_t{kCacheLineSize} - 1);
+}
+
+/// Number of cache lines spanned by the byte range [p, p+n).
+inline std::size_t lines_spanned(const void* p, std::size_t n) noexcept {
+  if (n == 0) return 0;
+  const std::uintptr_t first = line_of(p);
+  const std::uintptr_t last =
+      line_of(static_cast<const char*>(p) + n - 1);
+  return static_cast<std::size_t>((last - first) / kCacheLineSize) + 1;
+}
+
+}  // namespace rnt

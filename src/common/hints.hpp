@@ -1,0 +1,47 @@
+// Compiler/CPU hints used on hot paths.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace rnt {
+
+/// Polite spin-wait hint (PAUSE on x86); keeps a spinning hyperthread from
+/// starving its sibling and reduces the memory-order-violation penalty when
+/// the awaited line finally changes.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Prefetch every cache line of [p, p+n) for reading.  Issued before a
+/// binary search over a leaf so the dependent probes hit cache instead of
+/// paying a serialized memory latency each (classic cache-craftiness; the
+/// overlapped fetches cost roughly one memory round-trip in total).
+inline void prefetch_range(const void* p, std::size_t n) noexcept {
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t off = 0; off < n; off += 64)
+    __builtin_prefetch(c + off, /*rw=*/0, /*locality=*/1);
+}
+
+/// Exponential-backoff helper for contended CAS loops.
+class Backoff {
+ public:
+  void pause() noexcept {
+    for (int i = 0; i < spins_; ++i) cpu_relax();
+    if (spins_ < kMaxSpins) spins_ *= 2;
+  }
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  static constexpr int kMaxSpins = 1024;
+  int spins_ = 1;
+};
+
+}  // namespace rnt

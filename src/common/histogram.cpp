@@ -1,0 +1,32 @@
+#include "common/histogram.hpp"
+
+#include <cstdio>
+
+namespace rnt {
+
+std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    acc += counts_[i];
+    if (acc > target || (acc == total_ && acc >= target)) return bucket_upper(i);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus p999=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(total_), mean() / 1e3,
+                static_cast<double>(percentile(0.50)) / 1e3,
+                static_cast<double>(percentile(0.99)) / 1e3,
+                static_cast<double>(percentile(0.999)) / 1e3,
+                static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+}  // namespace rnt

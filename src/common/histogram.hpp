@@ -1,0 +1,83 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+//
+// Used by the figure-9 latency experiments and the examples.  Records values
+// in nanoseconds with ~3% relative precision over [1 ns, ~18 s] using
+// 64 exponents x 16 sub-buckets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnt {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;                      // 16 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 64 * kSub;
+
+  LatencyHistogram() : counts_(kBuckets, 0) {}
+
+  void record(std::uint64_t ns) noexcept {
+    ++counts_[bucket_of(ns)];
+    ++total_;
+    sum_ += ns;
+    if (ns > max_) max_ = ns;
+    if (ns < min_) min_ = ns;
+  }
+
+  /// Merge another histogram into this one (for per-thread recorders).
+  void merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+    if (other.total_ > 0 && other.min_ < min_) min_ = other.min_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max() const noexcept { return total_ ? max_ : 0; }
+  std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  double mean() const noexcept {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1]; returns an upper bound of the bucket.
+  std::uint64_t percentile(double q) const noexcept;
+
+  void reset() noexcept {
+    counts_.assign(kBuckets, 0);
+    total_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = ~0ull;
+  }
+
+  /// "p50=... p99=... max=..." one-line summary (values in microseconds).
+  std::string summary() const;
+
+ private:
+  static int bucket_of(std::uint64_t ns) noexcept {
+    if (ns < kSub) return static_cast<int>(ns);
+    const int msb = 63 - __builtin_clzll(ns);
+    const int exponent = msb - kSubBits;  // (ns >> exponent) lands in [16,32)
+    const auto sub = static_cast<int>(ns >> exponent) & (kSub - 1);
+    return ((exponent + 1) << kSubBits) | sub;
+  }
+
+  static std::uint64_t bucket_upper(int b) noexcept {
+    const int exponent = (b >> kSubBits) - 1;
+    const int sub = b & (kSub - 1);
+    if (exponent < 0) return static_cast<std::uint64_t>(b);
+    return (static_cast<std::uint64_t>(kSub + sub + 1) << exponent) - 1;
+  }
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~0ull;
+};
+
+}  // namespace rnt

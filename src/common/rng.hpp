@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All randomized components (workload generators, crash-injection sweeps, the
+// discrete-event simulator) are seeded explicitly so every experiment is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace rnt {
+
+/// SplitMix64 — used to seed other generators and as a cheap integer mixer.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Stateless 64-bit mixing (Stafford variant 13); used to scramble/hash keys.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — the main workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply-shift; the tiny residual bias (< 2^-64) is irrelevant
+    // for workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ull; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace rnt

@@ -1,0 +1,43 @@
+#include "common/thread_id.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "nvm/pool.hpp"
+
+namespace rnt {
+
+namespace {
+
+std::mutex g_mu;
+bool g_in_use[nvm::kMaxThreads] = {};
+
+int acquire_id() {
+  std::lock_guard lk(g_mu);
+  for (int i = 0; i < nvm::kMaxThreads; ++i) {
+    if (!g_in_use[i]) {
+      g_in_use[i] = true;
+      return i;
+    }
+  }
+  throw std::runtime_error("pmem_thread_id: more than kMaxThreads live threads");
+}
+
+void release_id(int id) {
+  std::lock_guard lk(g_mu);
+  g_in_use[id] = false;
+}
+
+struct TlsId {
+  int id = acquire_id();
+  ~TlsId() { release_id(id); }
+};
+
+}  // namespace
+
+int pmem_thread_id() {
+  thread_local TlsId tls;
+  return tls.id;
+}
+
+}  // namespace rnt

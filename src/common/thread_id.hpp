@@ -1,0 +1,14 @@
+// Small, recycled per-thread ids for persistent per-thread resources
+// (split undo-log slots).  Ids are drawn from [0, nvm::kMaxThreads) on first
+// use and returned when the thread exits, so arbitrarily many short-lived
+// threads can run over a process lifetime as long as at most kMaxThreads are
+// simultaneously inside the library.
+#pragma once
+
+namespace rnt {
+
+/// This thread's id in [0, nvm::kMaxThreads).  Throws std::runtime_error if
+/// more threads than undo slots are alive at once.
+int pmem_thread_id();
+
+}  // namespace rnt

@@ -1,0 +1,54 @@
+#include "common/timing.hpp"
+
+#include "common/hints.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace rnt {
+
+std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return now_ns();
+#endif
+}
+
+namespace {
+
+double calibrate_tsc_per_ns() {
+  // Measure TSC ticks across a ~2 ms steady-clock window, twice; keep the
+  // larger ratio (less likely to be preemption-skewed downward it matters
+  // little: the value is only used to convert short injected delays).
+  double best = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    const std::uint64_t t0 = now_ns();
+    const std::uint64_t c0 = rdtsc();
+    while (now_ns() - t0 < 2'000'000) cpu_relax();
+    const std::uint64_t c1 = rdtsc();
+    const std::uint64_t t1 = now_ns();
+    const double ratio =
+        static_cast<double>(c1 - c0) / static_cast<double>(t1 - t0);
+    if (ratio > best) best = ratio;
+  }
+  return best > 0.01 ? best : 1.0;
+}
+
+}  // namespace
+
+double tsc_per_ns() noexcept {
+  static const double v = calibrate_tsc_per_ns();
+  return v;
+}
+
+void busy_wait_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const double ticks = static_cast<double>(ns) * tsc_per_ns();
+  const std::uint64_t start = rdtsc();
+  const auto target = start + static_cast<std::uint64_t>(ticks);
+  while (rdtsc() < target) cpu_relax();
+}
+
+}  // namespace rnt

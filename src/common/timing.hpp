@@ -1,0 +1,43 @@
+// Nanosecond timing and calibrated busy-waiting.
+//
+// The NVM emulation charges a configurable delay per persistent instruction
+// (the paper's NVDIMM writes cost ~140 ns).  Delays that short cannot be
+// slept; they are busy-waited on the TSC, calibrated once against the steady
+// clock at startup.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rnt {
+
+/// Monotonic wall-clock nanoseconds.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Raw timestamp counter (x86) or steady-clock fallback.
+std::uint64_t rdtsc() noexcept;
+
+/// Calibrated TSC ticks per nanosecond (>= 0.01; computed on first use).
+double tsc_per_ns() noexcept;
+
+/// Busy-wait for approximately @p ns nanoseconds.  Never yields; intended for
+/// sub-microsecond latency injection.  No-op when ns == 0.
+void busy_wait_ns(std::uint64_t ns) noexcept;
+
+/// Simple scope timer reporting elapsed nanoseconds.
+class ScopeTimer {
+ public:
+  ScopeTimer() : start_(now_ns()) {}
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rnt

@@ -1,0 +1,91 @@
+// RNTree leaf node layout — paper Fig 1, one cache line per row.
+//
+//   line 0 : header — nlogs, plogs (volatile counters), the version-lock
+//            word (Fig 2), the two seqlock counters the software HTM backend
+//            uses, and the persistent next/high_key chain fields
+//   line 1 : persistent slot array (byte 0 = count, bytes 1.. = log indices)
+//   line 2 : transient slot array (the dual-slot design, S4.3); contents are
+//            volatile — recovery rebuilds it from line 1
+//   line 3+: 16-byte KV log entries, cache-line aligned, append-only
+//
+// nlogs counts *allocated* log entries (bumped lock-free by CAS, Alg 2);
+// plogs counts *consumed* ones.  Neither is crash-consistent: recovery
+// recomputes them from the slot array (S5.4).  high_key/next implement the
+// B-link-style redirection that lets readers and writers that raced a split
+// reach the correct half without restarting from the root.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "core/slot_util.hpp"
+#include "htm/seqlock.hpp"
+#include "htm/version_lock.hpp"
+
+namespace rnt::core {
+
+template <typename Key, typename Value>
+struct alignas(kCacheLineSize) RnLeaf {
+  static_assert(sizeof(Key) == 8 && sizeof(Value) == 8,
+                "v1 leaf layout packs 8-byte keys and values (wrap larger "
+                "values behind an 8-byte handle)");
+
+  static constexpr std::uint32_t kLogCap = 64;
+
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  // ---- line 0: header ----
+  std::atomic<std::uint32_t> nlogs;  ///< allocated logs (volatile)
+  std::uint32_t plogs;               ///< consumed logs (volatile; under lock)
+  htm::VersionLock vlock;            ///< Fig 2 word (volatile)
+  htm::SeqCounter mseq;  ///< modify window over pslot (non-dual-slot readers)
+  htm::SeqCounter tseq;  ///< publish window over tslot (dual-slot readers)
+  std::atomic<std::uint64_t> next;      ///< pool offset of right sibling (persistent)
+  std::atomic<Key> high_key;            ///< exclusive upper bound (persistent)
+  std::atomic<std::uint32_t> has_high;  ///< 0 until the first split (persistent)
+  /// In-flight log writers (allocated but not yet flushed).  A split must
+  /// quiesce these before compacting/reusing log indices — the software
+  /// stand-in for the conflict detection real RTM would provide.
+  std::atomic<std::uint32_t> writers;
+  std::uint8_t pad0_[kCacheLineSize - 48];
+
+  // ---- line 1: persistent slot array ----
+  std::uint8_t pslot[kCacheLineSize];
+
+  // ---- line 2: transient slot array (dual-slot design) ----
+  std::uint8_t tslot[kCacheLineSize];
+
+  // ---- lines 3+: KV log entries ----
+  Entry logs[kLogCap];
+
+  /// In-place construction on freshly allocated pool memory.
+  void init() noexcept {
+    nlogs.store(0, std::memory_order_relaxed);
+    plogs = 0;
+    writers.store(0, std::memory_order_relaxed);
+    vlock.reset();
+    next.store(0, std::memory_order_relaxed);
+    high_key.store(Key{}, std::memory_order_relaxed);
+    has_high.store(0, std::memory_order_relaxed);
+    pslot[0] = 0;
+    tslot[0] = 0;
+  }
+
+  std::uint8_t live_count() const noexcept { return pslot[0]; }
+};
+
+namespace layout_check {
+using L = RnLeaf<std::uint64_t, std::uint64_t>;
+static_assert(offsetof(L, pslot) == kCacheLineSize, "slot array is line 1");
+static_assert(offsetof(L, tslot) == 2 * kCacheLineSize, "dual slot is line 2");
+static_assert(offsetof(L, logs) == 3 * kCacheLineSize, "logs start at line 3");
+static_assert(sizeof(L) == 3 * kCacheLineSize + L::kLogCap * sizeof(L::Entry));
+static_assert(alignof(L) == kCacheLineSize);
+}  // namespace layout_check
+
+}  // namespace rnt::core

@@ -1,0 +1,650 @@
+// RNTree — the paper's contribution (S4, S5): a durable NVM B+tree that uses
+// HTM-sized atomic writes to keep leaves sorted with only two persistent
+// instructions per modify, overlaps persistency with concurrency by flushing
+// KV entries outside the leaf critical section, and (optionally) uses the
+// dual slot array so readers never block on a writer's flush while still
+// providing durable linearizability.
+//
+// Write path (Alg 1), annotated with the paper's four steps:
+//   1. allocate a log entry  — lock-free CAS on nlogs (Alg 2)
+//   2. write the KV          — plain stores, no coordination needed
+//   3. flush the KV          — persistent instruction #1, OUTSIDE any lock
+//   4. update the metadata   — leaf spinlock; the slot array is rewritten in
+//      an HTM-atomic section and flushed (persistent instruction #2), then
+//      (dual-slot mode) copied to the transient slot array readers use
+//
+// Read path (Alg 4): traverse the volatile inner tree (wait-free snapshot),
+// take a stable version (spins only across splits), snapshot the slot array
+// (transient one in dual-slot mode), binary-search OUTSIDE the atomic
+// section, re-validate the version.  A reader only retries if the leaf split
+// (dual-slot) or a writer's publish window overlapped (single-slot).
+//
+// Split (Alg 3): the whole leaf is logged to this thread's persistent undo
+// slot, entries are compacted into the two halves, both leaves are persisted,
+// the undo is retired, and the inner tree learns the new separator
+// (htmTreeUpdate).  The version-lock's splitting bit makes readers wait;
+// the version bump invalidates their snapshots.  Crash recovery rolls back
+// any split whose undo slot is still ACTIVE.
+//
+// A shrink-split (S5.2.3: fewer than half the entries live when the log area
+// fills) compacts the leaf in place under the same undo protection.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/hints.hpp"
+#include "common/thread_id.hpp"
+#include "core/rn_leaf.hpp"
+#include "epoch/ebr.hpp"
+#include "inner/inner_tree.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt::core {
+
+/// Per-tree operation statistics (relaxed counters; approximate under
+/// concurrency, exact single-threaded).
+struct TreeStats {
+  std::atomic<std::uint64_t> splits{0};
+  std::atomic<std::uint64_t> shrink_splits{0};
+  std::atomic<std::uint64_t> find_retries{0};
+  std::atomic<std::uint64_t> modify_restarts{0};
+
+  void reset() noexcept {
+    splits = 0;
+    shrink_splits = 0;
+    find_retries = 0;
+    modify_restarts = 0;
+  }
+};
+
+template <typename Key = std::uint64_t, typename Value = std::uint64_t>
+class RNTree {
+ public:
+  using Leaf = RnLeaf<Key, Value>;
+  using Entry = typename Leaf::Entry;
+
+  struct Options {
+    /// Dual slot array (the paper's RNTree+DS).  Off = readers validate
+    /// against the persistent slot array's modify window instead.
+    bool dual_slot = true;
+    /// Pool root slot holding the leftmost-leaf offset.
+    int root_slot = 0;
+  };
+
+  /// Create a fresh tree in @p pool.
+  RNTree(nvm::PmemPool& pool, Options opt = {})
+      : pool_(pool), opt_(opt), inner_(epochs_) {
+    const std::uint64_t off = pool_.alloc(sizeof(Leaf));
+    if (off == 0) throw std::bad_alloc();
+    Leaf* leaf = pool_.ptr<Leaf>(off);
+    leaf->init();
+    nvm::on_modified(leaf, sizeof(Leaf));
+    nvm::persist(leaf, sizeof(Leaf));
+    pool_.set_root(opt.root_slot, off);
+    pool_.mark_dirty();
+    inner_.init_single(leaf);
+  }
+
+  /// Recover a tree from @p pool: reconstruction after a clean shutdown,
+  /// full crash recovery (undo processing + counter rebuild) otherwise.
+  struct recover_t {};
+  RNTree(recover_t, nvm::PmemPool& pool, Options opt = {})
+      : pool_(pool), opt_(opt), inner_(epochs_) {
+    recover();
+    pool_.mark_dirty();
+  }
+
+  RNTree(const RNTree&) = delete;
+  RNTree& operator=(const RNTree&) = delete;
+
+  /// Flush volatile leaf counters and mark the pool clean so the next open
+  /// takes the fast reconstruction path.
+  void close() {
+    // plogs/nlogs live in the header line; persisting it makes the clean
+    // path's trust in them sound.
+    for (Leaf* leaf = leftmost(); leaf != nullptr; leaf = next_leaf(leaf)) {
+      nvm::on_modified(leaf, kCacheLineSize);
+      nvm::persist(leaf, kCacheLineSize);
+    }
+    pool_.close_clean();
+  }
+
+  // ------------------------------------------------------------------
+  // Basic operations
+  // ------------------------------------------------------------------
+
+  /// Conditional insert: fails (returns false) if the key already exists.
+  bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
+
+  /// Conditional update: fails if the key does not exist.
+  bool update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+
+  /// Unconditional insert-or-update.
+  void upsert(Key k, Value v) { (void)modify(k, v, Mode::kUpsert); }
+
+  /// Remove; returns false if the key was absent.  A single persistent
+  /// instruction (the slot-array flush) — no log entry is consumed.
+  bool remove(Key k) {
+    for (;;) {
+      epoch::Guard g = epochs_.pin();
+      Leaf* leaf = inner_.find_leaf(k);
+      leaf = chase(leaf, k);
+      prefetch_range(leaf, sizeof(Leaf));
+      leaf->vlock.lock();
+      if (!covers(leaf, k)) {
+        leaf->vlock.unlock();
+        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
+      std::memcpy(snew, leaf->pslot, kCacheLineSize);
+      const int pos = slot_lower_bound(snew, leaf->logs, k);
+      if (!slot_match(snew, leaf->logs, pos, k)) {
+        leaf->vlock.unlock();
+        return false;
+      }
+      slot_remove_at(snew, pos);
+      publish_slot(leaf, snew);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      leaf->vlock.unlock();
+      return true;
+    }
+  }
+
+  /// Point lookup (Alg 4).
+  std::optional<Value> find(Key k) const {
+    epoch::Guard g = epochs_.pin();
+    for (;;) {
+      Leaf* leaf = inner_.find_leaf(k);
+      // Overlap the whole leaf's fetch with the search: the binary probes
+      // through the slot indirection would otherwise serialize a cache miss
+      // per probe.
+      prefetch_range(leaf, sizeof(Leaf));
+      for (;;) {
+        const std::uint64_t v = leaf->vlock.stable_version();
+        if (beyond(leaf, k)) {
+          Leaf* nxt = pool_.ptr<Leaf>(leaf->next.load(std::memory_order_acquire));
+          if (leaf->vlock.stable_version() != v || nxt == nullptr) break;  // re-traverse
+          leaf = nxt;
+          continue;
+        }
+        alignas(kCacheLineSize) std::uint8_t snap[kCacheLineSize];
+        if (!snapshot_slot(leaf, snap)) {
+          stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const int pos = slot_lower_bound(snap, leaf->logs, k);
+        std::optional<Value> res;
+        if (slot_match(snap, leaf->logs, pos, k))
+          res = leaf->logs[snap[1 + pos]].value;
+        if (leaf->vlock.stable_version() != v) {
+          stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+          continue;  // split raced; snapshot may index rewritten logs
+        }
+        return res;
+      }
+    }
+  }
+
+  /// Range query (S5.2.4): visit entries with key >= @p start in ascending
+  /// order until @p fn returns false.  fn(key, value) -> bool (continue?).
+  /// Per-leaf atomic snapshots; the scan as a whole follows the persistent
+  /// next chain exactly as the paper describes.
+  template <typename Fn>
+  std::size_t scan(Key start, Fn&& fn) const {
+    epoch::Guard g = epochs_.pin();
+    std::size_t visited = 0;
+    Leaf* leaf = inner_.find_leaf(start);
+    bool first = true;
+    while (leaf != nullptr) {
+      const std::uint64_t v = leaf->vlock.stable_version();
+      if (first && beyond(leaf, start)) {
+        Leaf* nxt = pool_.ptr<Leaf>(leaf->next.load(std::memory_order_acquire));
+        if (leaf->vlock.stable_version() != v || nxt == nullptr) continue;
+        leaf = nxt;
+        continue;
+      }
+      alignas(kCacheLineSize) std::uint8_t snap[kCacheLineSize];
+      if (!snapshot_slot(leaf, snap)) continue;
+      Entry batch[Leaf::kLogCap];
+      const int count = snap[0];
+      int n_batch = 0;
+      const int from = first ? slot_lower_bound(snap, leaf->logs, start) : 0;
+      for (int i = from; i < count; ++i) batch[n_batch++] = leaf->logs[snap[1 + i]];
+      Leaf* nxt = pool_.ptr<Leaf>(leaf->next.load(std::memory_order_acquire));
+      if (leaf->vlock.stable_version() != v) continue;  // split raced: redo leaf
+      first = false;
+      for (int i = 0; i < n_batch; ++i) {
+        ++visited;
+        if (!fn(batch[i].key, batch[i].value)) return visited;
+      }
+      leaf = nxt;
+    }
+    return visited;
+  }
+
+  /// Convenience: collect up to @p n entries starting at @p start.
+  std::size_t scan_n(Key start, std::size_t n,
+                     std::vector<std::pair<Key, Value>>& out) const {
+    out.clear();
+    out.reserve(n);
+    scan(start, [&](Key k, Value v) {
+      out.emplace_back(k, v);
+      return out.size() < n;
+    });
+    return out.size();
+  }
+
+  /// Approximate number of live keys (exact when quiescent).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(size_.load(std::memory_order_relaxed));
+  }
+
+  const TreeStats& stats() const noexcept { return stats_; }
+  TreeStats& stats() noexcept { return stats_; }
+  bool dual_slot() const noexcept { return opt_.dual_slot; }
+  int height() const noexcept { return inner_.height(); }
+
+  /// Number of leaves (walks the chain; diagnostics).
+  std::size_t leaf_count() const {
+    std::size_t n = 0;
+    for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l)) ++n;
+    return n;
+  }
+
+  /// Validate structural invariants (tests): per-leaf sortedness/uniqueness,
+  /// chain ordering against high_key, and slot indices within nlogs.
+  /// Single-threaded use only.  Throws std::logic_error on violation.
+  void check_invariants() const {
+    Key prev{};
+    bool have_prev = false;
+    for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l)) {
+      const int count = l->pslot[0];
+      if (count > static_cast<int>(kSlotCap))
+        throw std::logic_error("slot count exceeds capacity");
+      for (int i = 0; i < count; ++i) {
+        const Key k = l->logs[l->pslot[1 + i]].key;
+        if (have_prev && !(prev < k))
+          throw std::logic_error("keys not strictly increasing");
+        prev = k;
+        have_prev = true;
+        if (l->has_high.load(std::memory_order_relaxed) != 0 &&
+            !(k < l->high_key.load(std::memory_order_relaxed)))
+          throw std::logic_error("key at/above leaf high_key");
+      }
+    }
+  }
+
+ private:
+  enum class Mode { kInsert, kUpdate, kUpsert };
+
+  static constexpr std::uint32_t kNoEntry = ~0u;
+
+  Leaf* leftmost() const noexcept {
+    return pool_.ptr<Leaf>(pool_.root(opt_.root_slot));
+  }
+  Leaf* next_leaf(Leaf* l) const noexcept {
+    return pool_.ptr<Leaf>(l->next.load(std::memory_order_acquire));
+  }
+
+  /// k is at/above this leaf's high bound (belongs to a right sibling).
+  static bool beyond(const Leaf* leaf, Key k) noexcept {
+    return leaf->has_high.load(std::memory_order_acquire) != 0 &&
+           !(k < leaf->high_key.load(std::memory_order_acquire));
+  }
+  /// Under the leaf lock: leaf still covers k.
+  static bool covers(const Leaf* leaf, Key k) noexcept { return !beyond(leaf, k); }
+
+  /// B-link chase: follow next links until the leaf's range covers k.
+  Leaf* chase(Leaf* leaf, Key k) const {
+    for (;;) {
+      const std::uint64_t v = leaf->vlock.stable_version();
+      if (!beyond(leaf, k)) return leaf;
+      Leaf* nxt = pool_.ptr<Leaf>(leaf->next.load(std::memory_order_acquire));
+      if (leaf->vlock.stable_version() != v || nxt == nullptr) continue;
+      leaf = nxt;
+    }
+  }
+
+  /// Alg 2: lock-free log-entry allocation.  Returns kNoEntry when full.
+  static std::uint32_t allocate_entry(Leaf* leaf) noexcept {
+    std::uint32_t e = leaf->nlogs.load(std::memory_order_relaxed);
+    for (;;) {
+      if (e >= Leaf::kLogCap) return kNoEntry;
+      if (leaf->nlogs.compare_exchange_weak(e, e + 1, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed))
+        return e;
+    }
+  }
+
+  /// Publish a new slot-array image: HTM-atomic store of the full cache
+  /// line, then the flush (persistent instruction #2).  In single-slot mode
+  /// the reader-visible window (mseq) must include the flush so a reader
+  /// can never return data whose slot array is not yet durable — this is
+  /// the read-uncommitted anomaly the paper closes; in dual-slot mode the
+  /// readers' window is only the transient-array copy below.
+  void publish_slot(Leaf* leaf, const std::uint8_t* snew) {
+    if (!opt_.dual_slot) leaf->mseq.write_begin();
+    nvm::htm_tx_begin();
+    nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize);
+    nvm::htm_tx_commit();
+    nvm::persist(leaf->pslot, kCacheLineSize);
+    if (!opt_.dual_slot) {
+      leaf->mseq.write_end();
+    } else {
+      // htmLeafCopySlot: publish to the transient array readers use.
+      leaf->tseq.write_begin();
+      std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+      leaf->tseq.write_end();
+    }
+  }
+
+  /// htmLeafSnapshot: consistent copy of the reader-visible slot array.
+  bool snapshot_slot(const Leaf* leaf, std::uint8_t* out) const {
+    if (opt_.dual_slot) {
+      const std::uint32_t s = leaf->tseq.read_begin();
+      std::memcpy(out, leaf->tslot, kCacheLineSize);
+      return leaf->tseq.read_validate(s);
+    }
+    const std::uint32_t s = leaf->mseq.read_begin();
+    std::memcpy(out, leaf->pslot, kCacheLineSize);
+    return leaf->mseq.read_validate(s);
+  }
+
+  /// RAII release of the in-flight-writer ref (exception-safe: an injected
+  /// CrashPoint must not leave the quiesce counter pinned).
+  struct WriterRef {
+    Leaf* leaf = nullptr;
+    ~WriterRef() { release(); }
+    void release() noexcept {
+      if (leaf != nullptr) {
+        leaf->writers.fetch_sub(1, std::memory_order_release);
+        leaf = nullptr;
+      }
+    }
+  };
+
+  bool modify(Key k, Value v, Mode mode) {
+    for (;;) {
+      epoch::Guard g = epochs_.pin();
+      Leaf* leaf = inner_.find_leaf(k);
+      leaf = chase(leaf, k);
+      prefetch_range(leaf, sizeof(Leaf));  // overlap fetch with the KV flush
+      const std::uint64_t ver = leaf->vlock.stable_version();
+
+      // Announce this in-flight log write so a concurrent split quiesces
+      // before reusing log indices.  seq_cst pairs with the splitter's
+      // set_split + writers scan (Dekker: one of us must see the other).
+      leaf->writers.fetch_add(1, std::memory_order_seq_cst);
+      WriterRef wref{leaf};
+      if (htm::VersionLock::splitting(leaf->vlock.raw())) {
+        wref.release();
+        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      // Step 1 (concurrency): allocate a log entry lock-free.
+      const std::uint32_t e = allocate_entry(leaf);
+      if (e == kNoEntry) {
+        wref.release();
+        force_split(leaf);
+        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Step 2 (no coordination): write the KV.
+      nvm::store(leaf->logs[e], Entry{k, v});
+      // Step 3 (persistency): flush it — outside the critical section, so
+      // concurrent writers to the same leaf flush in parallel.
+      nvm::persist(&leaf->logs[e], sizeof(Entry));
+      wref.release();
+
+      // Step 4 (concurrency): take the leaf lock, make the entry reachable.
+      leaf->vlock.lock();
+      if ((leaf->vlock.raw() & htm::VersionLock::kVersionMask) !=
+              (ver & htm::VersionLock::kVersionMask) ||
+          !covers(leaf, k)) {
+        // A split raced us: our log entry may have been compacted over.
+        // Abandon it (the slot array never pointed at it) and retry.
+        leaf->vlock.unlock();
+        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
+      std::memcpy(snew, leaf->pslot, kCacheLineSize);
+      const int pos = slot_lower_bound(snew, leaf->logs, k);
+      const bool exists = slot_match(snew, leaf->logs, pos, k);
+      if ((mode == Mode::kInsert && exists) ||
+          (mode == Mode::kUpdate && !exists)) {
+        // Conditional write fails with no extra cost: the slot array told
+        // us (the paper's S3.3 argument) — the allocated entry is leaked
+        // until the next compaction.
+        leaf->plogs++;
+        const bool full = leaf->plogs >= Leaf::kLogCap - 1;
+        if (full) split_locked(leaf);
+        leaf->vlock.unlock();
+        return false;
+      }
+      if (exists)
+        snew[1 + pos] = static_cast<std::uint8_t>(e);  // update: re-point slot
+      else
+        slot_insert_at(snew, pos, static_cast<std::uint8_t>(e));
+      publish_slot(leaf, snew);
+      leaf->plogs++;
+      if (!exists) size_.fetch_add(1, std::memory_order_relaxed);
+      if (leaf->plogs >= Leaf::kLogCap - 1 || snew[0] >= kSlotCap)
+        split_locked(leaf);
+      leaf->vlock.unlock();
+      return true;
+    }
+  }
+
+  /// The log area filled before plogs hit the threshold (entries leaked by
+  /// races/conditional failures): split under the lock, then retry.
+  void force_split(Leaf* leaf) {
+    leaf->vlock.lock();
+    if (leaf->nlogs.load(std::memory_order_relaxed) >= Leaf::kLogCap)
+      split_locked(leaf);
+    leaf->vlock.unlock();
+  }
+
+  /// Alg 3 + the shrink variant.  Caller holds the leaf lock.
+  void split_locked(Leaf* leaf) {
+    const int live = leaf->pslot[0];
+    if (live < static_cast<int>(kSlotCap) / 2) {
+      compact_locked(leaf);
+      return;
+    }
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    leaf->vlock.set_split();
+    quiesce_writers(leaf);
+
+    // Log the whole leaf to this thread's persistent undo slot.
+    nvm::UndoSlot& undo = pool_.undo_slot(pmem_thread_id());
+    const std::uint64_t new_off = pool_.alloc(sizeof(Leaf));
+    if (new_off == 0) throw std::bad_alloc();
+    begin_undo(undo, leaf, new_off);
+    const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
+
+    Leaf* nl = pool_.ptr<Leaf>(new_off);
+    nl->init();
+    const int split = live / 2;
+    const Key split_key = src->logs[src->pslot[1 + split]].key;
+
+    // Right half: entries [split, live) compacted into the new leaf.
+    for (int i = split; i < live; ++i)
+      nl->logs[i - split] = src->logs[src->pslot[1 + i]];
+    nl->pslot[0] = static_cast<std::uint8_t>(live - split);
+    for (int i = 0; i < live - split; ++i)
+      nl->pslot[1 + i] = static_cast<std::uint8_t>(i);
+    nl->next.store(src->next.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    nl->high_key.store(src->high_key.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    nl->has_high.store(src->has_high.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    nl->nlogs.store(static_cast<std::uint32_t>(live - split),
+                    std::memory_order_relaxed);
+    nl->plogs = static_cast<std::uint32_t>(live - split);
+    std::memcpy(nl->tslot, nl->pslot, kCacheLineSize);
+    nvm::on_modified(nl, sizeof(Leaf));
+    nvm::persist(nl, sizeof(Leaf));
+
+    // Left half: compact in place from the undo image; readers are held off
+    // by the splitting bit, crash rolls the whole leaf back from the undo.
+    for (int i = 0; i < split; ++i) {
+      nvm::store(leaf->logs[i], src->logs[src->pslot[1 + i]]);
+      leaf->pslot[1 + i] = static_cast<std::uint8_t>(i);
+    }
+    leaf->pslot[0] = static_cast<std::uint8_t>(split);
+    nvm::on_modified(leaf->pslot, kCacheLineSize);
+    leaf->next.store(new_off, std::memory_order_relaxed);
+    leaf->high_key.store(split_key, std::memory_order_relaxed);
+    leaf->has_high.store(1, std::memory_order_relaxed);
+    nvm::on_modified(leaf, kCacheLineSize);  // header line
+    leaf->nlogs.store(static_cast<std::uint32_t>(split), std::memory_order_relaxed);
+    leaf->plogs = static_cast<std::uint32_t>(split);
+    nvm::persist(leaf, sizeof(Leaf));
+    leaf->tseq.write_begin();
+    std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+    leaf->tseq.write_end();
+
+    // The split is durable; retire the undo BEFORE making the new leaf
+    // reachable to other writers, so recovery can never roll back state
+    // that others have built upon.
+    end_undo(undo);
+
+    leaf->vlock.unset_split_and_bump();
+    inner_.insert_split(split_key, leaf, nl);
+  }
+
+  /// Shrink-split: obsolete log entries dominate; compact in place.
+  void compact_locked(Leaf* leaf) {
+    stats_.shrink_splits.fetch_add(1, std::memory_order_relaxed);
+    leaf->vlock.set_split();
+    quiesce_writers(leaf);
+    nvm::UndoSlot& undo = pool_.undo_slot(pmem_thread_id());
+    begin_undo(undo, leaf, 0);
+    const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
+    const int live = src->pslot[0];
+    for (int i = 0; i < live; ++i) {
+      nvm::store(leaf->logs[i], src->logs[src->pslot[1 + i]]);
+      leaf->pslot[1 + i] = static_cast<std::uint8_t>(i);
+    }
+    leaf->pslot[0] = static_cast<std::uint8_t>(live);
+    nvm::on_modified(leaf->pslot, kCacheLineSize);
+    leaf->nlogs.store(static_cast<std::uint32_t>(live), std::memory_order_relaxed);
+    leaf->plogs = static_cast<std::uint32_t>(live);
+    nvm::on_modified(leaf, kCacheLineSize);
+    nvm::persist(leaf, sizeof(Leaf));
+    leaf->tseq.write_begin();
+    std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+    leaf->tseq.write_end();
+    end_undo(undo);
+    leaf->vlock.unset_split_and_bump();
+  }
+
+  /// Wait until no in-flight log writes remain.  Called with the lock held
+  /// and the splitting bit set: new writers observe the bit (seq_cst pairing
+  /// with their fetch_add) and back off, so this terminates.
+  static void quiesce_writers(Leaf* leaf) noexcept {
+    Backoff bo;
+    while (leaf->writers.load(std::memory_order_seq_cst) != 0) bo.pause();
+  }
+
+  void begin_undo(nvm::UndoSlot& undo, Leaf* leaf, std::uint64_t aux_off) {
+    static_assert(sizeof(Leaf) <= nvm::UndoSlot::kDataSize);
+    nvm::copy_nvm(undo.data, leaf, sizeof(Leaf));
+    nvm::store(undo.target_off, pool_.off(leaf));
+    nvm::store(undo.aux_off, aux_off);
+    nvm::store(undo.data_size, std::uint64_t{sizeof(Leaf)});
+    nvm::persist(&undo, sizeof(undo));
+    nvm::store(undo.state, std::uint64_t{nvm::UndoSlot::kActive});
+    nvm::persist(&undo.state, sizeof(undo.state));
+  }
+
+  void end_undo(nvm::UndoSlot& undo) {
+    nvm::store(undo.state, std::uint64_t{nvm::UndoSlot::kIdle});
+    nvm::persist(&undo.state, sizeof(undo.state));
+  }
+
+  // ------------------------------------------------------------------
+  // Recovery (S5.4)
+  // ------------------------------------------------------------------
+
+  void recover() {
+    const bool crashed = !pool_.clean_shutdown();
+    if (crashed) roll_back_splits();
+
+    std::vector<Leaf*> leaves;
+    std::vector<Key> separators;
+    std::uint64_t live = 0;
+    for (Leaf* leaf = leftmost(); leaf != nullptr; leaf = next_leaf(leaf)) {
+      // ALL volatile header fields must be re-initialised: a crash rewinds
+      // the header cache line to its durable image, which can leave the
+      // seqlocks odd (readers would spin forever) or the writer-quiesce
+      // counter nonzero (splits would never proceed).
+      leaf->vlock.reset();
+      leaf->mseq.reset();
+      leaf->tseq.reset();
+      leaf->writers.store(0, std::memory_order_relaxed);
+      if (crashed) {
+        // nlogs/plogs are not crash-consistent: recompute from the slot
+        // array — "scan the slot array to find the max index of log
+        // entries" (S6.2.6).  Unreferenced tail entries are reclaimed for
+        // free: the next allocation may overwrite them.
+        const int count = leaf->pslot[0];
+        std::uint32_t max_idx = 0;
+        for (int i = 0; i < count; ++i)
+          max_idx = std::max<std::uint32_t>(max_idx, leaf->pslot[1 + i]);
+        const std::uint32_t n = count == 0 ? 0 : max_idx + 1;
+        leaf->nlogs.store(n, std::memory_order_relaxed);
+        leaf->plogs = n;
+      }
+      // else: the clean-shutdown path trusts the persisted header counters.
+      std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+      live += leaf->pslot[0];
+      leaves.push_back(leaf);
+      if (leaf->has_high.load(std::memory_order_relaxed) != 0)
+        separators.push_back(leaf->high_key.load(std::memory_order_relaxed));
+    }
+    if (leaves.empty()) throw std::runtime_error("RNTree::recover: no leaves");
+    if (separators.size() + 1 != leaves.size())
+      throw std::runtime_error("RNTree::recover: broken high_key chain");
+    size_.store(static_cast<std::int64_t>(live), std::memory_order_relaxed);
+    inner_.bulk_load(leaves, separators);
+  }
+
+  /// Undo any split that was in flight at the crash: restore the logged
+  /// leaf image and release the half-born sibling.  Correct because the
+  /// undo slot is retired (IDLE) *before* the new leaf becomes reachable,
+  /// so a still-ACTIVE slot means no acknowledged writes depend on the new
+  /// state.
+  void roll_back_splits() {
+    for (int t = 0; t < nvm::kMaxThreads; ++t) {
+      nvm::UndoSlot& undo = pool_.undo_slot(t);
+      if (undo.state != nvm::UndoSlot::kActive) continue;
+      if (undo.data_size != sizeof(Leaf)) continue;  // another tree's slot
+      Leaf* target = pool_.ptr<Leaf>(undo.target_off);
+      nvm::copy_nvm(target, undo.data, sizeof(Leaf));
+      nvm::persist(target, sizeof(Leaf));
+      if (undo.aux_off != 0) pool_.free(undo.aux_off, sizeof(Leaf));
+      nvm::store(undo.state, std::uint64_t{nvm::UndoSlot::kIdle});
+      nvm::persist(&undo.state, sizeof(undo.state));
+    }
+  }
+
+  nvm::PmemPool& pool_;
+  Options opt_;
+  mutable epoch::EpochManager epochs_;
+  inner::InnerTree<Key, Leaf> inner_;
+  std::atomic<std::int64_t> size_{0};
+  mutable TreeStats stats_;
+};
+
+}  // namespace rnt::core

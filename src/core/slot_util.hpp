@@ -1,0 +1,61 @@
+// Indirect slot-array helpers (paper Fig 1 / wB+tree [7]).
+//
+// A slot array is one cache line: byte 0 holds the number of live entries,
+// bytes 1..63 hold log-entry indices ordered by key.  It is the indirection
+// that lets a leaf stay logically sorted while its KV log remains
+// append-only.  These helpers operate on a *local copy* (a snapshot or a
+// scratch buffer being prepared for an atomic publish) — never in place on a
+// shared leaf.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/cacheline.hpp"
+
+namespace rnt::core {
+
+inline constexpr std::uint32_t kSlotCap = kCacheLineSize - 1;  // 63 entries
+
+inline std::uint8_t slot_count(const std::uint8_t* slot) noexcept {
+  return slot[0];
+}
+
+/// First position whose key is >= k (binary search through the indirection).
+template <typename Entry, typename Key>
+int slot_lower_bound(const std::uint8_t* slot, const Entry* logs, Key k) noexcept {
+  int lo = 0, hi = slot[0];
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (logs[slot[1 + mid]].key < k)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// True if position @p pos holds exactly key @p k.
+template <typename Entry, typename Key>
+bool slot_match(const std::uint8_t* slot, const Entry* logs, int pos, Key k) noexcept {
+  return pos < slot[0] && logs[slot[1 + pos]].key == k;
+}
+
+/// Insert log index @p log_idx at sorted position @p pos (caller-searched).
+inline void slot_insert_at(std::uint8_t* slot, int pos, std::uint8_t log_idx) noexcept {
+  const int count = slot[0];
+  std::memmove(slot + 1 + pos + 1, slot + 1 + pos,
+               static_cast<std::size_t>(count - pos));
+  slot[1 + pos] = log_idx;
+  slot[0] = static_cast<std::uint8_t>(count + 1);
+}
+
+/// Remove the entry at position @p pos.
+inline void slot_remove_at(std::uint8_t* slot, int pos) noexcept {
+  const int count = slot[0];
+  std::memmove(slot + 1 + pos, slot + 1 + pos + 1,
+               static_cast<std::size_t>(count - pos - 1));
+  slot[0] = static_cast<std::uint8_t>(count - 1);
+}
+
+}  // namespace rnt::core

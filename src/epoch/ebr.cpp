@@ -1,0 +1,96 @@
+#include "epoch/ebr.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace rnt::epoch {
+
+EpochManager::~EpochManager() {
+  // All guards must be gone; free everything unconditionally.
+  assert(min_active_epoch() == ~0ull && "EpochManager destroyed with active guards");
+  std::lock_guard lk(limbo_mu_);
+  for (Retired& r : limbo_) r.deleter();
+  limbo_.clear();
+}
+
+Guard EpochManager::pin() noexcept {
+  std::uint64_t e = global_.load(std::memory_order_seq_cst);
+  // Hash the thread id for a starting slot, then linear-probe for a free one.
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  int idx = static_cast<int>(tid % kSlots);
+  Backoff bo;
+  for (;;) {
+    for (int i = 0; i < kSlots; ++i) {
+      const int s = (idx + i) % kSlots;
+      std::uint64_t expected = kIdle;
+      if (slots_[s].epoch.compare_exchange_strong(expected, e,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+        // Publication/validation loop: if the global epoch moved between our
+        // initial read and the slot publish, a concurrent collect() may have
+        // scanned past this slot; re-publish until the global is stable.
+        // All ops are seq_cst so either collect() observes our slot or we
+        // observe its epoch bump (Dekker-style).
+        for (;;) {
+          const std::uint64_t cur = global_.load(std::memory_order_seq_cst);
+          if (cur == e) break;
+          e = cur;
+          slots_[s].epoch.exchange(e, std::memory_order_seq_cst);
+        }
+        return Guard(this, s);
+      }
+    }
+    bo.pause();  // > kSlots simultaneous guards; wait for one to release
+  }
+}
+
+void EpochManager::unpin(int slot) noexcept {
+  slots_[slot].epoch.store(kIdle, std::memory_order_release);
+}
+
+std::uint64_t EpochManager::min_active_epoch() const noexcept {
+  std::uint64_t min = ~0ull;
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min) min = e;
+  }
+  return min;
+}
+
+void EpochManager::retire(std::function<void()> deleter) {
+  const std::uint64_t e = global_.load(std::memory_order_acquire);
+  bool do_collect = false;
+  {
+    std::lock_guard lk(limbo_mu_);
+    limbo_.push_back({e, std::move(deleter)});
+    do_collect = limbo_.size() >= 64;
+  }
+  if (do_collect) collect();
+}
+
+void EpochManager::collect() {
+  global_.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint64_t safe = min_active_epoch();
+  std::vector<Retired> to_free;
+  {
+    std::lock_guard lk(limbo_mu_);
+    auto keep = limbo_.begin();
+    for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+      if (it->epoch < safe) {
+        to_free.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    limbo_.erase(keep, limbo_.end());
+  }
+  for (Retired& r : to_free) r.deleter();
+}
+
+std::size_t EpochManager::limbo_size() {
+  std::lock_guard lk(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace rnt::epoch

@@ -1,0 +1,92 @@
+// Hardware transactional memory wrapper (Intel RTM) with software fallback.
+//
+// atomic_exec(fallback, fn) runs fn() with multi-word atomic visibility:
+//   * On TSX-capable CPUs (runtime CPUID check) it retries fn() inside an
+//     RTM transaction, subscribing to the fallback lock per the standard
+//     lock-elision idiom, then falls back to the lock.
+//   * Elsewhere (or whenever a ShadowPool crash simulator is attached, which
+//     needs deterministic execution) it runs fn() under the fallback lock,
+//     bracketed by nvm::htm_tx_begin/commit so the crash simulator models
+//     RTM's "speculative stores never reach memory" guarantee.
+//
+// The RTM intrinsics live in rtm.cpp, the only TU compiled with -mrtm, so
+// the rest of the library builds and runs on any x86-64.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "htm/spinlock.hpp"
+#include "nvm/persist.hpp"
+
+namespace rnt::htm {
+
+/// Per-thread transaction statistics.
+struct HtmStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;
+  std::uint64_t aborts_other = 0;
+  std::uint64_t fallbacks = 0;
+  void reset() noexcept { *this = {}; }
+};
+
+HtmStats& tls_htm_stats() noexcept;
+
+/// True when this CPU executes RTM transactions (CPUID leaf 7 EBX bit 11).
+bool rtm_supported() noexcept;
+
+#if defined(RNTREE_HAVE_RTM)
+namespace detail {
+inline constexpr unsigned kXBeginStarted = ~0u;
+inline constexpr unsigned kAbortRetry = 1u << 1;
+inline constexpr unsigned kAbortConflict = 1u << 2;
+inline constexpr unsigned kAbortCapacity = 1u << 3;
+unsigned xbegin() noexcept;   // compiled with -mrtm in rtm.cpp
+void xend() noexcept;
+void xabort_conflict() noexcept;
+}  // namespace detail
+#endif
+
+/// Execute @p fn atomically w.r.t. every other atomic_exec on the same
+/// @p fallback lock and w.r.t. readers using seqlock validation.
+template <typename Fn>
+void atomic_exec(SpinLock& fallback, Fn&& fn, int max_retries = 10) {
+  HtmStats& st = tls_htm_stats();
+#if defined(RNTREE_HAVE_RTM)
+  if (rtm_supported() && nvm::shadow_active() == nullptr) {
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+      ++st.attempts;
+      const unsigned status = detail::xbegin();
+      if (status == detail::kXBeginStarted) {
+        if (fallback.is_locked()) detail::xabort_conflict();
+        fn();
+        detail::xend();
+        ++st.commits;
+        return;
+      }
+      if ((status & detail::kAbortCapacity) != 0) {
+        ++st.aborts_capacity;
+        break;  // will not fit; go straight to the lock
+      }
+      if ((status & detail::kAbortConflict) != 0)
+        ++st.aborts_conflict;
+      else
+        ++st.aborts_other;
+      if ((status & detail::kAbortRetry) == 0 && attempt >= 2) break;
+      Backoff bo;
+      bo.pause();
+      while (fallback.is_locked()) bo.pause();  // wait out the lock holder
+    }
+    ++st.fallbacks;
+  }
+#endif
+  SpinGuard g(fallback);
+  nvm::htm_tx_begin();
+  std::forward<Fn>(fn)();
+  nvm::htm_tx_commit();
+  ++st.commits;
+}
+
+}  // namespace rnt::htm

@@ -1,0 +1,62 @@
+// Sequence counter (seqlock read protocol).
+//
+// This is the software equivalent of the paper's cache-line-size HTM
+// atomicity: a writer wraps a multi-word update in write_begin()/write_end();
+// readers copy the protected words and validate that no writer overlapped.
+// On TSX hardware the same sections run as real RTM transactions and the
+// counter is only touched on the fallback path; on this library's software
+// backend the counter IS the mechanism.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/hints.hpp"
+
+namespace rnt::htm {
+
+class SeqCounter {
+ public:
+  /// Begin a writer section (single writer at a time — callers hold the
+  /// enclosing leaf lock; asserted by the odd/even discipline).
+  void write_begin() noexcept {
+    const std::uint32_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  void write_end() noexcept {
+    const std::uint32_t s = seq_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    seq_.store(s + 1, std::memory_order_release);
+  }
+
+  /// Snapshot for a reader; spins past in-progress writers.
+  std::uint32_t read_begin() const noexcept {
+    Backoff bo;
+    for (;;) {
+      const std::uint32_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1u) == 0) return s;
+      bo.pause();
+    }
+  }
+
+  /// True if the section observed since @p start is consistent.
+  bool read_validate(std::uint32_t start) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_acquire) == start;
+  }
+
+  std::uint32_t raw() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Recovery reset: a counter living in (emulated) NVM may hold an
+  /// arbitrary — possibly odd — value after a crash rewinds its cache line.
+  void reset() noexcept { seq_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+};
+
+}  // namespace rnt::htm

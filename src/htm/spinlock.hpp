@@ -1,0 +1,51 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used as (a) the fallback lock that HTM transactions subscribe to and
+// (b) the paper's per-leaf "spin-lock to protect the update of metadata".
+#pragma once
+
+#include <atomic>
+
+#include "common/hints.hpp"
+
+namespace rnt::htm {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff bo;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  /// Used by HTM transactions to subscribe to the fallback path.
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// std::lock_guard-compatible RAII.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) noexcept : l_(l) { l_.lock(); }
+  ~SpinGuard() { l_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& l_;
+};
+
+}  // namespace rnt::htm

@@ -1,0 +1,122 @@
+// Masstree-style combined version/lock word (paper Fig 2).
+//
+// One 64-bit word per leaf encodes, from the top: a lock bit (taken by
+// modify operations), a splitting bit (set while the leaf is being split),
+// a retired bit (this library's addition: set when a shrink-split replaces
+// the leaf, so racing operations restart from the root), and a version
+// number that increments when a split finishes.  stableVersion() returns the
+// version only when the leaf is not splitting, exactly as in the paper.
+//
+// The word lives in the leaf's NVM header but is *not* crash-consistent:
+// recovery resets it (paper S5.4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/hints.hpp"
+
+namespace rnt::htm {
+
+class VersionLock {
+ public:
+  static constexpr std::uint64_t kLockBit = 1ull << 63;
+  static constexpr std::uint64_t kSplitBit = 1ull << 62;
+  static constexpr std::uint64_t kRetiredBit = 1ull << 61;
+  static constexpr std::uint64_t kVersionMask = kRetiredBit - 1;
+
+  /// Acquire the modify lock.  Spins while locked; also waits out an
+  /// in-progress split (the splitter holds the lock anyway).
+  void lock() noexcept {
+    Backoff bo;
+    for (;;) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      if ((w & kLockBit) == 0) {
+        if (word_.compare_exchange_weak(w, w | kLockBit,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+          return;
+      }
+      bo.pause();
+    }
+  }
+
+  void unlock() noexcept {
+    word_.fetch_and(~kLockBit, std::memory_order_release);
+  }
+
+  /// Unlock and increment the version.  Used by designs whose readers must
+  /// observe EVERY modification (FPTree's find aborts on any concurrent
+  /// update): without the bump, a reader overlapping a complete lock/unlock
+  /// cycle would validate against an unchanged word (ABA).  On real TSX the
+  /// reader's transaction would have conflict-aborted instead.
+  void unlock_and_bump() noexcept {
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t next =
+          (w & ~kLockBit & ~kVersionMask) | ((w + 1) & kVersionMask);
+      if (word_.compare_exchange_weak(w, next, std::memory_order_release,
+                                      std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    if ((w & kLockBit) != 0) return false;
+    return word_.compare_exchange_strong(w, w | kLockBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Splitting window; only the lock holder may set/clear it.  The version
+  /// number increments when the split finishes (paper S5.1).
+  void set_split() noexcept {
+    word_.fetch_or(kSplitBit, std::memory_order_release);
+  }
+  void unset_split_and_bump() noexcept {
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t next =
+          (w & ~kSplitBit & ~kVersionMask) | ((w + 1) & kVersionMask);
+      if (word_.compare_exchange_weak(w, next, std::memory_order_release,
+                                      std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  /// Permanently mark the leaf replaced (shrink-split); holder only.
+  void set_retired() noexcept {
+    word_.fetch_or(kRetiredBit, std::memory_order_release);
+  }
+
+  /// Wait until the leaf is not splitting, then return the whole word (with
+  /// the lock bit masked off so a concurrent non-split modify does not
+  /// invalidate readers in dual-slot mode).  Check retired() on the result.
+  std::uint64_t stable_version() const noexcept {
+    Backoff bo;
+    for (;;) {
+      const std::uint64_t w = word_.load(std::memory_order_acquire);
+      if ((w & kSplitBit) == 0) return w & ~kLockBit;
+      bo.pause();
+    }
+  }
+
+  std::uint64_t raw() const noexcept {
+    return word_.load(std::memory_order_acquire);
+  }
+
+  static bool retired(std::uint64_t w) noexcept { return (w & kRetiredBit) != 0; }
+  static bool locked(std::uint64_t w) noexcept { return (w & kLockBit) != 0; }
+  static bool splitting(std::uint64_t w) noexcept { return (w & kSplitBit) != 0; }
+
+  /// Recovery resets the word to a clean unlocked state.
+  void reset() noexcept { word_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> word_{0};
+};
+
+static_assert(sizeof(VersionLock) == 8);
+
+}  // namespace rnt::htm

@@ -1,0 +1,233 @@
+// Volatile internal-node tree shared by every leaf design.
+//
+// Following the paper (and FPTree/NVTree), all internal nodes live in DRAM
+// and are rebuilt from the persistent leaf chain on recovery; only leaf nodes
+// are NVM-resident.  The paper wraps traversal and internal-node updates in
+// HTM so that readers never block.  This implementation provides the same
+// semantics portably with copy-on-write path updates:
+//
+//   * find_leaf() descends an immutable snapshot reached from an atomic root
+//     pointer — wait-free, no validation, never blocks (the HTM-traversal
+//     equivalent).  Callers must hold an epoch::Guard for the duration.
+//   * insert_split() (the paper's htmTreeUpdate) copies the root-to-parent
+//     path with the new separator/leaf spliced in, splits overfull inner
+//     nodes, swaps the root, and retires replaced nodes through EBR.
+//     Structure changes are serialized by one mutex — splits are rare.
+//
+// A reader can reach a leaf that has just split (its snapshot predates the
+// root swap); the owning trees resolve that B-link style via the persistent
+// per-leaf high_key/next chain, exactly as the paper's find redirects.
+//
+// The paper's evaluation keeps internal nodes identical across all compared
+// trees; every tree in this library instantiates this template.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "epoch/ebr.hpp"
+
+namespace rnt::inner {
+
+template <typename Key, typename Leaf>
+class InnerTree {
+ public:
+  /// Max separator keys per inner node.  16 keys keeps a 16M-KV tree at
+  /// depth ~5 with 64-entry leaves, mirroring the paper's setup.
+  static constexpr int kFanout = 16;
+
+  explicit InnerTree(epoch::EpochManager& epochs) : epochs_(epochs) {}
+
+  ~InnerTree() { free_subtree(root_.load(std::memory_order_relaxed)); }
+
+  InnerTree(const InnerTree&) = delete;
+  InnerTree& operator=(const InnerTree&) = delete;
+
+  /// Initialise with a single leaf covering the whole key space.
+  void init_single(Leaf* leftmost) {
+    assert(root_.load(std::memory_order_relaxed) == nullptr);
+    Node* r = new Node;
+    r->level = 0;
+    r->count = 0;
+    r->children[0] = leftmost;
+    root_.store(r, std::memory_order_release);
+  }
+
+  /// Leaf whose range covers @p k in the current snapshot.  The caller must
+  /// hold an epoch::Guard; the returned pointer stays valid while it does.
+  Leaf* find_leaf(Key k) const noexcept {
+    const Node* n = root_.load(std::memory_order_acquire);
+    while (n->level > 0) n = static_cast<const Node*>(n->children[n->child_index(k)]);
+    return static_cast<Leaf*>(n->children[n->child_index(k)]);
+  }
+
+  /// Splice (separator, new_leaf) immediately to the right of @p old_leaf:
+  /// the paper's htmTreeUpdate after a leaf split.  @p sep is the split key
+  /// (minimum key of new_leaf's range).
+  void insert_split(Key sep, Leaf* old_leaf, Leaf* new_leaf) {
+    std::lock_guard lk(mu_);
+    Node* old_root = root_.load(std::memory_order_relaxed);
+    InsertResult r = insert_rec(old_root, sep, old_leaf, new_leaf);
+    Node* new_root = r.left;
+    if (r.right != nullptr) {
+      new_root = new Node;
+      new_root->level = static_cast<std::int16_t>(r.left->level + 1);
+      new_root->count = 1;
+      new_root->keys[0] = r.pushed;
+      new_root->children[0] = r.left;
+      new_root->children[1] = r.right;
+    }
+    root_.store(new_root, std::memory_order_release);
+  }
+
+  /// Rebuild from an ordered leaf chain.  @p leaves are all leaves left to
+  /// right; @p separators[i] is the lower bound of leaves[i+1]'s range (the
+  /// persisted high_key chain), so separators.size() == leaves.size() - 1.
+  void bulk_load(const std::vector<Leaf*>& leaves,
+                 const std::vector<Key>& separators) {
+    assert(!leaves.empty());
+    assert(separators.size() + 1 == leaves.size());
+    std::lock_guard lk(mu_);
+    Node* old_root = root_.exchange(nullptr, std::memory_order_relaxed);
+    free_subtree(old_root);
+
+    // Build the leaf level, then stack levels until one node remains.
+    std::vector<Node*> level;
+    std::vector<Key> seps;  // separators between consecutive nodes in `level`
+    {
+      std::size_t i = 0;
+      while (i < leaves.size()) {
+        Node* n = new Node;
+        n->level = 0;
+        const std::size_t take =
+            std::min<std::size_t>(kFanout + 1, leaves.size() - i);
+        n->count = static_cast<std::int16_t>(take - 1);
+        for (std::size_t j = 0; j < take; ++j) n->children[j] = leaves[i + j];
+        for (std::size_t j = 0; j + 1 < take; ++j) n->keys[j] = separators[i + j];
+        if (i + take < leaves.size()) seps.push_back(separators[i + take - 1]);
+        level.push_back(n);
+        i += take;
+      }
+    }
+    while (level.size() > 1) {
+      std::vector<Node*> next_level;
+      std::vector<Key> next_seps;
+      std::size_t i = 0;
+      while (i < level.size()) {
+        Node* n = new Node;
+        n->level = static_cast<std::int16_t>(level[i]->level + 1);
+        const std::size_t take =
+            std::min<std::size_t>(kFanout + 1, level.size() - i);
+        n->count = static_cast<std::int16_t>(take - 1);
+        for (std::size_t j = 0; j < take; ++j) n->children[j] = level[i + j];
+        for (std::size_t j = 0; j + 1 < take; ++j) n->keys[j] = seps[i + j];
+        if (i + take < level.size()) next_seps.push_back(seps[i + take - 1]);
+        next_level.push_back(n);
+        i += take;
+      }
+      level = std::move(next_level);
+      seps = std::move(next_seps);
+    }
+    root_.store(level[0], std::memory_order_release);
+  }
+
+  /// Tree height in inner levels (1 = root directly over leaves).
+  int height() const noexcept {
+    const Node* n = root_.load(std::memory_order_acquire);
+    return n == nullptr ? 0 : n->level + 1;
+  }
+
+ private:
+  struct Node {
+    std::int16_t count;  ///< number of separator keys (children = count + 1)
+    std::int16_t level;  ///< 0 => children are Leaf*
+    Key keys[kFanout + 1];        // +1: transient slot while splitting
+    void* children[kFanout + 2];
+
+    /// Index of the child whose subtree covers @p k (keys >= keys[i] go
+    /// right of separator i).
+    int child_index(Key k) const noexcept {
+      int lo = 0, hi = count;
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (k < keys[mid])
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      return lo;
+    }
+  };
+
+  struct InsertResult {
+    Node* left;
+    Node* right;  ///< nullptr if the copied node did not split
+    Key pushed;
+  };
+
+  /// Copy @p n with (sep, new_leaf) inserted in the subtree; returns the
+  /// replacement (possibly split in two).  Retires every replaced node.
+  InsertResult insert_rec(Node* n, Key sep, Leaf* old_leaf, Leaf* new_leaf) {
+    Node* copy = new Node(*n);
+    const int idx = n->child_index(sep);
+    if (n->level == 0) {
+      assert(n->children[idx] == old_leaf &&
+             "insert_split: separator does not land on the splitting leaf");
+      (void)old_leaf;
+      // Shift keys/children right of idx and splice the new separator.
+      for (int j = copy->count; j > idx; --j) copy->keys[j] = copy->keys[j - 1];
+      for (int j = copy->count + 1; j > idx + 1; --j)
+        copy->children[j] = copy->children[j - 1];
+      copy->keys[idx] = sep;
+      copy->children[idx + 1] = new_leaf;
+      copy->count++;
+    } else {
+      InsertResult child =
+          insert_rec(static_cast<Node*>(n->children[idx]), sep, old_leaf, new_leaf);
+      copy->children[idx] = child.left;
+      if (child.right != nullptr) {
+        for (int j = copy->count; j > idx; --j) copy->keys[j] = copy->keys[j - 1];
+        for (int j = copy->count + 1; j > idx + 1; --j)
+          copy->children[j] = copy->children[j - 1];
+        copy->keys[idx] = child.pushed;
+        copy->children[idx + 1] = child.right;
+        copy->count++;
+      }
+    }
+    retire_node(n);
+    if (copy->count <= kFanout) return {copy, nullptr, Key{}};
+
+    // Split the overfull copy: left keeps `half` keys, the middle key is
+    // pushed up, the right node takes the rest.
+    const int half = copy->count / 2;
+    Node* right = new Node;
+    right->level = copy->level;
+    right->count = static_cast<std::int16_t>(copy->count - half - 1);
+    const Key pushed = copy->keys[half];
+    for (int j = 0; j < right->count; ++j) right->keys[j] = copy->keys[half + 1 + j];
+    for (int j = 0; j <= right->count; ++j)
+      right->children[j] = copy->children[half + 1 + j];
+    copy->count = static_cast<std::int16_t>(half);
+    return {copy, right, pushed};
+  }
+
+  void retire_node(Node* n) {
+    epochs_.retire([n] { delete n; });
+  }
+
+  void free_subtree(Node* n) {
+    if (n == nullptr) return;
+    if (n->level > 0)
+      for (int i = 0; i <= n->count; ++i)
+        free_subtree(static_cast<Node*>(n->children[i]));
+    delete n;
+  }
+
+  epoch::EpochManager& epochs_;
+  std::atomic<Node*> root_{nullptr};
+  std::mutex mu_;
+};
+
+}  // namespace rnt::inner

@@ -1,0 +1,126 @@
+#include "nvm/persist.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "nvm/shadow.hpp"
+
+namespace rnt::nvm {
+
+NvmConfig& config() noexcept {
+  static NvmConfig cfg;
+  return cfg;
+}
+
+namespace {
+
+// Aggregate-stat registry: live threads are summed on demand; counters of
+// exited threads are folded into `retired`.
+std::mutex g_reg_mu;
+std::vector<const PersistStats*> g_live;
+PersistStats g_retired;
+
+struct TlsEntry {
+  PersistStats stats;
+  TlsEntry() {
+    std::lock_guard lk(g_reg_mu);
+    g_live.push_back(&stats);
+  }
+  ~TlsEntry() {
+    std::lock_guard lk(g_reg_mu);
+    g_retired.clwb += stats.clwb;
+    g_retired.fence += stats.fence;
+    g_retired.persist += stats.persist;
+    g_retired.lines += stats.lines;
+    std::erase(g_live, &stats);
+  }
+};
+
+TlsEntry& tls_entry() noexcept {
+  thread_local TlsEntry e;
+  return e;
+}
+
+}  // namespace
+
+PersistStats& tls_stats() noexcept { return tls_entry().stats; }
+
+PersistStats aggregate_stats() {
+  std::lock_guard lk(g_reg_mu);
+  PersistStats out = g_retired;
+  for (const PersistStats* s : g_live) {
+    out.clwb += s->clwb;
+    out.fence += s->fence;
+    out.persist += s->persist;
+    out.lines += s->lines;
+  }
+  return out;
+}
+
+void reset_aggregate_stats() {
+  std::lock_guard lk(g_reg_mu);
+  g_retired = {};
+  for (const PersistStats* s : g_live)
+    *const_cast<PersistStats*>(s) = {};  // benign: callers quiesce workers first
+}
+
+namespace detail {
+
+std::atomic<ShadowPool*> g_shadow{nullptr};
+thread_local std::uint32_t tls_pending_lines = 0;
+
+void shadow_on_store(const void* p, std::size_t n) {
+  if (ShadowPool* sp = shadow_active()) sp->on_store(p, n);
+}
+void shadow_on_clwb(const void* p) {
+  if (ShadowPool* sp = shadow_active()) sp->on_clwb(p);
+}
+void shadow_on_fence() {
+  if (ShadowPool* sp = shadow_active()) sp->on_fence();
+}
+void shadow_tx_begin() {
+  if (ShadowPool* sp = shadow_active()) sp->tx_begin();
+}
+void shadow_tx_commit() {
+  if (ShadowPool* sp = shadow_active()) sp->tx_commit();
+}
+
+}  // namespace detail
+
+void clwb(const void* p) noexcept(false) {
+  tls_stats().clwb++;
+  detail::tls_pending_lines++;
+  if (shadow_active() != nullptr) detail::shadow_on_clwb(p);
+}
+
+void sfence() noexcept(false) {
+  auto& st = tls_stats();
+  st.fence++;
+  const std::uint32_t pending = detail::tls_pending_lines;
+  if (pending > 0) {
+    st.lines += pending;
+    detail::tls_pending_lines = 0;
+    const NvmConfig& cfg = config();
+    const std::uint64_t wait =
+        cfg.write_latency_ns +
+        static_cast<std::uint64_t>(cfg.per_line_ns) * (pending - 1);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Order matters for crash simulation: the lines become durable at the
+    // fence, then the latency is charged.
+    if (shadow_active() != nullptr) detail::shadow_on_fence();
+    busy_wait_ns(wait);
+  } else {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+}
+
+void persist(const void* p, std::size_t n) noexcept(false) {
+  tls_stats().persist++;
+  const char* c = static_cast<const char*>(p);
+  const std::size_t nlines = lines_spanned(p, n);
+  for (std::size_t i = 0; i < nlines; ++i) clwb(c + i * kCacheLineSize);
+  sfence();
+}
+
+}  // namespace rnt::nvm

@@ -1,0 +1,143 @@
+// Persistent-instruction primitives for the emulated NVM.
+//
+// The paper reasons about performance in units of "persistent instructions":
+// a cache-line flush (CLFLUSH/CLWB) followed by a fence, which together push
+// dirty lines from the cache into the NVM and stall until they are durable.
+// This module provides those primitives for the emulated NVM:
+//
+//   * clwb(p)            -- enqueue the line containing p for writeback
+//   * sfence()           -- drain pending writebacks; charges the configured
+//                           NVM write latency (default 140 ns, the paper's
+//                           NVDIMM write latency) via calibrated busy-wait
+//   * persist(p, n)      -- clwb every line of [p, p+n) + sfence; counted as
+//                           ONE persistent instruction (the paper's compound)
+//
+// plus interception-aware store helpers.  All writes to NVM-resident,
+// *persistent* data must go through store()/copy_nvm()/on_modified() so the
+// crash simulator (shadow.hpp) can track which cache lines are dirty,
+// write-pending, or inside an emulated HTM transaction.  When no ShadowPool
+// is attached the overhead is one relaxed atomic load + predictable branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/cacheline.hpp"
+
+namespace rnt::nvm {
+
+class ShadowPool;
+
+/// Latency model for the emulated NVM medium.
+struct NvmConfig {
+  /// Stall charged by a fence that drains at least one pending line.
+  /// Default matches the paper's measured NVDIMM write latency (140 ns).
+  std::uint32_t write_latency_ns = 140;
+  /// Additional cost per pending line beyond the first (bandwidth term;
+  /// 64 B / 34 GB/s ~= 2 ns on the paper's testbed).
+  std::uint32_t per_line_ns = 2;
+};
+
+/// Global mutable configuration.  Set before running a benchmark; not
+/// synchronized (configure from one thread before spawning workers).
+NvmConfig& config() noexcept;
+
+/// Per-thread persistent-instruction counters.
+struct PersistStats {
+  std::uint64_t clwb = 0;      ///< individual line writebacks issued
+  std::uint64_t fence = 0;     ///< fences issued
+  std::uint64_t persist = 0;   ///< persist() compounds ("persistent instructions")
+  std::uint64_t lines = 0;     ///< total lines drained by fences
+
+  PersistStats operator-(const PersistStats& o) const noexcept {
+    return {clwb - o.clwb, fence - o.fence, persist - o.persist, lines - o.lines};
+  }
+  void reset() noexcept { *this = {}; }
+};
+
+/// This thread's counters (cheap to read; snapshot/diff around a workload to
+/// obtain per-operation persist counts, as bench_table1 does).
+PersistStats& tls_stats() noexcept;
+
+/// Sum of counters over all threads that ever recorded, including exited ones.
+PersistStats aggregate_stats();
+
+/// Reset aggregate bookkeeping AND the calling thread's counters.
+void reset_aggregate_stats();
+
+namespace detail {
+extern std::atomic<ShadowPool*> g_shadow;
+extern thread_local std::uint32_t tls_pending_lines;
+
+void shadow_on_store(const void* p, std::size_t n);
+void shadow_on_clwb(const void* p);
+void shadow_on_fence();
+void shadow_tx_begin();
+void shadow_tx_commit();
+}  // namespace detail
+
+/// The ShadowPool currently intercepting NVM traffic, or nullptr.
+inline ShadowPool* shadow_active() noexcept {
+  return detail::g_shadow.load(std::memory_order_relaxed);
+}
+
+/// Store a trivially copyable value to a persistent NVM location.
+template <typename T>
+inline void store(T& dst, const T& v) noexcept(false) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  dst = v;
+  if (shadow_active() != nullptr) detail::shadow_on_store(&dst, sizeof(T));
+}
+
+/// Store with release ordering to an atomic persistent field (e.g. a bitmap
+/// or an append counter read by concurrent readers).
+template <typename T>
+inline void store_release(std::atomic<T>& dst, T v) noexcept(false) {
+  dst.store(v, std::memory_order_release);
+  if (shadow_active() != nullptr) detail::shadow_on_store(&dst, sizeof(T));
+}
+
+/// memcpy into persistent NVM.
+inline void copy_nvm(void* dst, const void* src, std::size_t n) noexcept(false) {
+  std::memcpy(dst, src, n);
+  if (shadow_active() != nullptr) detail::shadow_on_store(dst, n);
+}
+
+/// memset over persistent NVM.
+inline void set_nvm(void* dst, int byte, std::size_t n) noexcept(false) {
+  std::memset(dst, byte, n);
+  if (shadow_active() != nullptr) detail::shadow_on_store(dst, n);
+}
+
+/// Notify the crash simulator that [p, p+n) was modified by code that could
+/// not route every store through store()/copy_nvm() (e.g. placement-init of a
+/// fresh node).  Call AFTER the writes.
+inline void on_modified(const void* p, std::size_t n) noexcept(false) {
+  if (shadow_active() != nullptr) detail::shadow_on_store(p, n);
+}
+
+/// Initiate writeback of the cache line containing @p p (CLWB emulation).
+/// Asynchronous: durability and the latency charge happen at the next fence.
+void clwb(const void* p) noexcept(false);
+
+/// Drain pending writebacks (SFENCE emulation); charges NVM write latency if
+/// any lines were pending.
+void sfence() noexcept(false);
+
+/// Flush + fence over an arbitrary byte range; the paper's "persistent
+/// instruction" compound (counted once in PersistStats::persist).
+void persist(const void* p, std::size_t n) noexcept(false);
+
+/// Emulated-HTM transaction markers.  The software-fallback HTM sections call
+/// these so the crash simulator can model RTM's guarantee that speculative
+/// stores never reach the memory subsystem before commit.
+inline void htm_tx_begin() noexcept(false) {
+  if (shadow_active() != nullptr) detail::shadow_tx_begin();
+}
+inline void htm_tx_commit() noexcept(false) {
+  if (shadow_active() != nullptr) detail::shadow_tx_commit();
+}
+
+}  // namespace rnt::nvm

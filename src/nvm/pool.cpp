@@ -1,0 +1,155 @@
+#include "nvm/pool.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace rnt::nvm {
+
+namespace {
+
+char* map_file(int fd, std::size_t size) {
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) throw std::runtime_error("PmemPool: mmap failed");
+  return static_cast<char*>(p);
+}
+
+char* map_anon(std::size_t size) {
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::runtime_error("PmemPool: anonymous mmap failed");
+  return static_cast<char*>(p);
+}
+
+}  // namespace
+
+PmemPool::PmemPool(std::size_t size, const std::string& path) : path_(path) {
+  size_ = align_up(size, kChunk);
+  if (size_ < data_start() + kChunk)
+    throw std::invalid_argument("PmemPool: size too small");
+  if (path.empty()) {
+    base_ = map_anon(size_);
+  } else {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) throw std::runtime_error("PmemPool: cannot create " + path);
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0)
+      throw std::runtime_error("PmemPool: ftruncate failed");
+    base_ = map_file(fd_, size_);
+  }
+  init_fresh();
+}
+
+PmemPool::PmemPool(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDWR);
+  if (fd_ < 0) throw std::runtime_error("PmemPool: cannot open " + path);
+  const off_t len = ::lseek(fd_, 0, SEEK_END);
+  if (len <= 0) throw std::runtime_error("PmemPool: empty pool file");
+  size_ = static_cast<std::size_t>(len);
+  base_ = map_file(fd_, size_);
+  load_existing();
+}
+
+PmemPool::~PmemPool() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PmemPool::init_fresh() {
+  std::memset(base_, 0, data_start());
+  Header* h = header();
+  h->magic = kMagic;
+  h->version = 1;
+  h->size = size_;
+  h->used = data_start();
+  h->clean = 1;
+  persist(h, sizeof(Header));
+  // Undo slots are zeroed (kIdle) by the memset above; persist the area.
+  persist(base_ + undo_area_off(), sizeof(UndoSlot) * kMaxThreads);
+  bump_.store(data_start(), std::memory_order_relaxed);
+}
+
+void PmemPool::load_existing() {
+  const Header* h = header();
+  if (h->magic != kMagic) throw std::runtime_error("PmemPool: bad magic");
+  if (h->size != size_) throw std::runtime_error("PmemPool: size mismatch");
+  bump_.store(h->used, std::memory_order_relaxed);
+  free_lists_.clear();
+}
+
+void PmemPool::reopen_volatile() {
+  std::lock_guard lk(alloc_mu_);
+  load_existing();
+}
+
+std::uint64_t PmemPool::alloc(std::size_t size) {
+  const std::size_t sz = align_up(size, kCacheLineSize);
+  std::lock_guard lk(alloc_mu_);
+  auto it = free_lists_.find(sz);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    const std::uint64_t off = it->second.back();
+    it->second.pop_back();
+    return off;
+  }
+  const std::uint64_t off = bump_.load(std::memory_order_relaxed);
+  if (off + sz > size_) return 0;
+  bump_.store(off + sz, std::memory_order_relaxed);
+  Header* h = header();
+  if (off + sz > h->used) {
+    // Persist a chunk-rounded high-water mark; a crash can leak at most the
+    // unpersisted remainder of one chunk.
+    std::uint64_t mark = align_up(off + sz, kChunk);
+    if (mark > size_) mark = size_;
+    store(h->used, mark);
+    persist(&h->used, sizeof(h->used));
+  }
+  return off;
+}
+
+void PmemPool::free(std::uint64_t offset, std::size_t size) {
+  if (offset == 0) return;
+  const std::size_t sz = align_up(size, kCacheLineSize);
+  std::lock_guard lk(alloc_mu_);
+  free_lists_[sz].push_back(offset);
+}
+
+std::uint64_t PmemPool::root(int slot) const noexcept {
+  assert(slot >= 0 && slot < kNumRoots);
+  return header()->roots[slot];
+}
+
+void PmemPool::set_root(int slot, std::uint64_t off) {
+  assert(slot >= 0 && slot < kNumRoots);
+  Header* h = header();
+  store(h->roots[slot], off);
+  persist(&h->roots[slot], sizeof(off));
+}
+
+UndoSlot& PmemPool::undo_slot(int thread_id) const noexcept {
+  assert(thread_id >= 0 && thread_id < kMaxThreads);
+  return *reinterpret_cast<UndoSlot*>(base_ + undo_area_off() +
+                                      sizeof(UndoSlot) *
+                                          static_cast<std::size_t>(thread_id));
+}
+
+bool PmemPool::clean_shutdown() const noexcept { return header()->clean == 1; }
+
+void PmemPool::mark_dirty() {
+  Header* h = header();
+  if (h->clean != 0) {
+    store(h->clean, std::uint64_t{0});
+    persist(&h->clean, sizeof(h->clean));
+  }
+}
+
+void PmemPool::close_clean() {
+  Header* h = header();
+  store(h->used, bump_.load(std::memory_order_relaxed));
+  store(h->clean, std::uint64_t{1});
+  persist(h, sizeof(Header));
+}
+
+}  // namespace rnt::nvm

@@ -1,0 +1,141 @@
+// PmemPool — the emulated persistent-memory region.
+//
+// Models the paper's environment: NVM managed by a DAX filesystem and mmap'd
+// into the address space, accessed by ordinary loads/stores.  A pool is one
+// contiguous mapping (DRAM-backed for experiments, file-backed to demonstrate
+// real cross-process durability).  All persistent cross-references are 8-byte
+// *pool offsets* so a pool remains valid wherever it is mapped; offset 0 is
+// the null offset (it addresses the pool header).
+//
+// Header contents (all persistent):
+//   * magic/version/size
+//   * 8 named root slots (the trees store their leftmost-leaf offset in one;
+//     the paper: "the pointer to the left-most leaf node is stored in a
+//     well-known static address")
+//   * allocation high-water mark, persisted at chunk granularity (crash may
+//     leak at most one chunk; recovery treats everything below the mark as
+//     potentially live)
+//   * clean-shutdown flag distinguishing reconstruction from crash recovery
+//   * per-thread split undo-log slots (Alg 3 logs the whole leaf "in a
+//     pre-defined thread-local storage" before splitting)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "nvm/persist.hpp"
+
+namespace rnt::nvm {
+
+/// Maximum worker threads supported by the undo-log area and epoch slots.
+inline constexpr int kMaxThreads = 64;
+
+/// Per-thread persistent undo-log slot used by leaf splits.
+struct alignas(kCacheLineSize) UndoSlot {
+  enum State : std::uint64_t { kIdle = 0, kActive = 1 };
+  static constexpr std::size_t kDataSize = 4064;
+
+  std::uint64_t state;       ///< kIdle or kActive (persisted)
+  std::uint64_t target_off;  ///< pool offset of the leaf being split
+  std::uint64_t aux_off;     ///< pool offset of the new leaf (freed on rollback)
+  std::uint64_t data_size;   ///< bytes of the logged leaf image
+  std::uint8_t data[kDataSize];
+};
+static_assert(sizeof(UndoSlot) == 4096);
+
+class PmemPool {
+ public:
+  static constexpr std::uint64_t kMagic = 0x524E545245453139ull;  // "RNTREE19"
+  static constexpr int kNumRoots = 8;
+  static constexpr std::uint64_t kChunk = 1u << 20;  ///< high-water persist step
+
+  /// Create a fresh pool.  If @p path is empty the pool is DRAM-backed;
+  /// otherwise it is a mmap'd file (created/truncated).
+  explicit PmemPool(std::size_t size, const std::string& path = "");
+
+  /// Reopen an existing file-backed pool (recovery entry point).
+  explicit PmemPool(const std::string& path);
+
+  PmemPool(const PmemPool&) = delete;
+  PmemPool& operator=(const PmemPool&) = delete;
+  ~PmemPool();
+
+  /// Translate offset -> pointer.  Offset 0 yields nullptr.
+  template <typename T = void>
+  T* ptr(std::uint64_t off) const noexcept {
+    return off == 0 ? nullptr : reinterpret_cast<T*>(base_ + off);
+  }
+
+  /// Translate pointer -> offset (nullptr -> 0).
+  std::uint64_t off(const void* p) const noexcept {
+    return p == nullptr
+               ? 0
+               : static_cast<std::uint64_t>(static_cast<const char*>(p) - base_);
+  }
+
+  /// Allocate @p size bytes, cache-line aligned.  Returns 0 on exhaustion.
+  std::uint64_t alloc(std::size_t size);
+
+  /// Return a block to the (volatile) free list.
+  void free(std::uint64_t offset, std::size_t size);
+
+  /// Named persistent roots.
+  std::uint64_t root(int slot) const noexcept;
+  void set_root(int slot, std::uint64_t off);  ///< persisted before returning
+
+  UndoSlot& undo_slot(int thread_id) const noexcept;
+
+  char* base() const noexcept { return base_; }
+  std::size_t size() const noexcept { return size_; }
+  bool is_file_backed() const noexcept { return fd_ >= 0; }
+
+  /// True when the pool was closed cleanly before the last open.
+  bool clean_shutdown() const noexcept;
+
+  /// Mark the pool dirty (called once mutation begins) / clean (on close()).
+  void mark_dirty();
+  void close_clean();
+
+  /// Simulate a process restart on a DRAM-backed pool: drops all volatile
+  /// allocator state and re-reads the header, exactly like reopening a file.
+  void reopen_volatile();
+
+  /// Bytes handed out so far (diagnostics).
+  std::uint64_t bytes_used() const noexcept { return bump_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t size;
+    std::uint64_t used;         // persisted high-water mark (chunk granular)
+    std::uint64_t clean;        // 1 = clean shutdown
+    std::uint64_t roots[kNumRoots];
+  };
+
+  Header* header() const noexcept { return reinterpret_cast<Header*>(base_); }
+  void init_fresh();
+  void load_existing();
+  static std::uint64_t undo_area_off() noexcept {
+    return align_up(sizeof(Header), kCacheLineSize);
+  }
+  static std::uint64_t data_start() noexcept {
+    return align_up(undo_area_off() + sizeof(UndoSlot) * kMaxThreads, kChunk);
+  }
+
+  char* base_ = nullptr;
+  std::size_t size_ = 0;
+  int fd_ = -1;
+  std::string path_;
+
+  std::atomic<std::uint64_t> bump_{0};
+  std::mutex alloc_mu_;
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> free_lists_;
+};
+
+}  // namespace rnt::nvm

@@ -1,0 +1,114 @@
+// ShadowPool — cache-line-granularity crash simulator for a PmemPool.
+//
+// Models the exact x86+NVM failure semantics the paper reasons about:
+//
+//   * Stores land in the (volatile) cache; they reach the NVM only via an
+//     explicit CLWB+fence or an *uncontrolled* eviction.
+//   * A cache line written inside an HTM transaction NEVER reaches the NVM
+//     before the transaction commits ("a dirty cache-line incurred by a store
+//     remains in the cache"); after commit its lines are ordinary dirty lines.
+//   * On a crash, each unflushed dirty line independently either made it to
+//     the NVM (an eviction happened first) or is lost.
+//
+// While attached, all persistent stores routed through nvm::store()/
+// copy_nvm()/on_modified() are tracked per cache line:
+//
+//   durable image : a private copy of the pool taken at attach time, updated
+//                   when lines are fenced (or "evicted" at crash time)
+//   dirty         : written but not flushed
+//   pending       : CLWB issued, fence not yet reached
+//   tx            : written inside an open emulated-HTM transaction
+//
+// simulate_crash() rewinds the working pool to what the NVM would contain:
+// tx lines are always lost; dirty/pending lines are lost (kNone) or coin-flip
+// survive (kRandomEviction, seeded).  After the rewind the caller runs the
+// tree's crash recovery on the pool and checks invariants.
+//
+// Crash *injection*: schedule_crash_after(n) makes the n-th subsequent
+// tracked NVM event (store or fence) throw CrashPoint mid-operation, after
+// which the shadow ignores all traffic until simulate_crash() is called.
+// Sweeping n over an operation's event count exercises every crash point.
+//
+// Single-threaded by design (asserted): crash-consistency properties are
+// about persist ordering, which the single-thread sweeps cover; concurrency
+// is tested separately with real threads.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt::nvm {
+
+/// Thrown at an injected crash point.  Propagates out of the in-flight tree
+/// operation; the test then calls simulate_crash() and re-runs recovery.
+struct CrashPoint {};
+
+enum class EvictionMode {
+  kNone,            ///< no line survives unless explicitly fenced (strictest)
+  kRandomEviction,  ///< each unflushed non-tx line survives with p=1/2
+};
+
+class ShadowPool {
+ public:
+  /// Attach to @p pool: snapshots the durable image and installs the global
+  /// interception hook.  Only one ShadowPool may be active per process.
+  explicit ShadowPool(PmemPool& pool);
+  ~ShadowPool();
+
+  ShadowPool(const ShadowPool&) = delete;
+  ShadowPool& operator=(const ShadowPool&) = delete;
+
+  // --- interception callbacks (invoked from nvm::store/clwb/sfence) ---
+  void on_store(const void* p, std::size_t n);
+  void on_clwb(const void* p);
+  void on_fence();
+  void tx_begin();
+  void tx_commit();
+
+  // --- crash machinery ---
+
+  /// Throw CrashPoint when the (events_seen()+n)-th tracked event occurs.
+  void schedule_crash_after(std::uint64_t n);
+  void cancel_scheduled_crash();
+  std::uint64_t events_seen() const noexcept { return events_; }
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Rewind the working pool to the simulated NVM contents; clears all
+  /// tracking state (the durable image then equals the working pool).
+  /// Safe to call with or without a prior injected CrashPoint.
+  void simulate_crash(EvictionMode mode = EvictionMode::kNone,
+                      std::uint64_t seed = 0);
+
+  /// Number of lines currently dirty+pending+tx (diagnostics / tests).
+  std::size_t unflushed_lines() const noexcept {
+    return dirty_.size() + pending_.size() + tx_.size();
+  }
+
+ private:
+  std::uint64_t line_index(const void* p) const noexcept {
+    const auto off = static_cast<std::uint64_t>(
+        static_cast<const char*>(p) - pool_.base());
+    return off / kCacheLineSize;
+  }
+  void make_durable(std::uint64_t line);
+  void restore_line(std::uint64_t line);
+  void track_event();
+
+  PmemPool& pool_;
+  std::vector<std::uint8_t> durable_;
+  std::unordered_set<std::uint64_t> dirty_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> tx_;
+  int tx_depth_ = 0;
+  bool crashed_ = false;
+  std::uint64_t events_ = 0;
+  std::uint64_t crash_at_event_ = 0;  // 0 = disabled
+  std::uint64_t owner_thread_ = 0;
+};
+
+}  // namespace rnt::nvm

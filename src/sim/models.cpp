@@ -1,0 +1,248 @@
+#include "sim/models.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "workload/zipfian.hpp"
+
+namespace rnt::sim {
+
+namespace {
+
+/// Simulated leaf: the lock plus a virtual seqlock over the reader-visible
+/// slot array.  pub_seq odd = a writer's publish window is open.
+struct LeafSim {
+  SimMutex lock;
+  std::uint64_t pub_seq = 0;
+  SimTime last_commit = 0;  ///< FPTree read validation
+};
+
+struct Ctx {
+  const SimConfig& cfg;
+  Scheduler& sched;
+  ChannelPool channels;
+  std::vector<LeafSim> leaves;
+  SimMutex htm_fallback;  ///< FPTree's global HTM fallback lock
+  // aggregated results
+  std::uint64_t completed = 0;
+  std::uint64_t find_retries = 0;
+  std::uint64_t htm_fallbacks = 0;
+  LatencyHistogram read_latency;
+  LatencyHistogram update_latency;
+
+  Ctx(const SimConfig& c, Scheduler& s)
+      : cfg(c),
+        sched(s),
+        channels(c.nvm_channels, c.costs.persist, c.costs.persist_occupancy),
+        leaves(static_cast<std::size_t>(
+            std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))) {}
+};
+
+/// Key generator per worker: uniform or scrambled Zipfian over the key
+/// space, mapped onto leaves ("We hash keys to distribute hottest keys to
+/// different leaf nodes").
+class KeyGen {
+ public:
+  KeyGen(const SimConfig& cfg, std::uint64_t seed)
+      : uniform_(cfg.keys, seed), leaves_(std::max<std::uint64_t>(
+                                      1, cfg.keys / cfg.keys_per_leaf)) {
+    if (cfg.zipf_theta > 0.0)
+      zipf_ = std::make_unique<workload::ScrambledZipfianGenerator>(
+          cfg.keys, cfg.zipf_theta, seed);
+  }
+
+  std::size_t next_leaf() {
+    const std::uint64_t key = zipf_ ? zipf_->next() : uniform_.next();
+    return static_cast<std::size_t>(mix64(key ^ 0x9E37) % leaves_);
+  }
+
+ private:
+  workload::UniformGenerator uniform_;
+  std::unique_ptr<workload::ScrambledZipfianGenerator> zipf_;
+  std::uint64_t leaves_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-tree operation coroutines.  Each is a full op; the worker loop decides
+// op type and leaf, then co_awaits the matching routine via a Task-less
+// inline pattern (the logic lives in the worker coroutine to avoid nested
+// coroutine frames).
+// ---------------------------------------------------------------------------
+
+Task worker(Ctx& ctx, int wid) {
+  Scheduler& s = ctx.sched;
+  const Costs& c = ctx.cfg.costs;
+  const bool dual = ctx.cfg.model == TreeModel::kRNTreeDS;
+  const bool fptree = ctx.cfg.model == TreeModel::kFPTree;
+  Xoshiro256 rng(ctx.cfg.seed * 7919 + static_cast<std::uint64_t>(wid));
+  KeyGen keys(ctx.cfg, ctx.cfg.seed * 104729 + static_cast<std::uint64_t>(wid));
+
+  const bool open_loop = ctx.cfg.open_rate > 0.0;
+  const SimTime interval =
+      open_loop ? static_cast<SimTime>(1e9 / ctx.cfg.open_rate) : 0;
+  SimTime next_arrival = 0;
+
+  while (s.now() < ctx.cfg.horizon_ns) {
+    // --- arrival discipline ---
+    SimTime arrival = s.now();
+    if (open_loop) {
+      if (next_arrival > s.now()) co_await Delay{s, next_arrival - s.now()};
+      arrival = next_arrival;
+      next_arrival += interval;
+    }
+
+    const bool is_update =
+        rng.next_below(100) < static_cast<std::uint64_t>(ctx.cfg.update_pct);
+    LeafSim& leaf = ctx.leaves[keys.next_leaf()];
+
+    if (!fptree) {
+      // ----------------- RNTree / RNTree+DS -----------------
+      if (is_update) {
+        // Steps 1-3 outside the lock (S4.2): traverse, allocate, write,
+        // flush the KV entry.  (The decoupled ablation moves the KV flush
+        // inside the critical section instead.)
+        co_await Delay{s, c.traverse + c.cas_alloc + c.kv_write};
+        if (!ctx.cfg.flush_inside_lock)
+          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+        // Step 4: short critical section.
+        co_await leaf.lock.acquire(s);
+        if (ctx.cfg.flush_inside_lock)
+          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+        co_await Delay{s, c.leaf_search + c.slot_update};
+        if (dual) {
+          // Slot flush does not block readers; only the transient copy does.
+          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+          leaf.pub_seq++;
+          co_await Delay{s, c.slot_copy};
+          leaf.pub_seq++;
+        } else {
+          // Readers see the window of the whole slot flush.
+          leaf.pub_seq++;
+          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+          leaf.pub_seq++;
+        }
+        if (rng.next_below(32) == 0) {  // amortised compaction
+          co_await Delay{s, c.compact};
+          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+        }
+        leaf.last_commit = s.now();
+        leaf.lock.release(s);
+      } else {
+        // find (Alg 4): wait-free traversal + seqlock-validated snapshot.
+        co_await Delay{s, c.traverse};
+        for (;;) {
+          if ((leaf.pub_seq & 1) != 0) {
+            ctx.find_retries++;
+            co_await Delay{s, c.backoff};
+            continue;
+          }
+          const std::uint64_t s0 = leaf.pub_seq;
+          co_await Delay{s, c.read_snapshot};
+          if (leaf.pub_seq != s0) {
+            ctx.find_retries++;
+            continue;
+          }
+          break;
+        }
+      }
+    } else if (is_update) {
+      // ----------------- FPTree update -----------------
+      // Traversal runs as an HTM transaction; reading the leaf's lock word
+      // while a writer holds it is a conflict, so updates to a hot leaf
+      // also abort-and-retry from the root, and escalate to the global
+      // fallback lock (held for the traversal) when the retry budget runs
+      // out.  The explicit leaf lock is then taken and the WHOLE modify,
+      // flushes included, runs inside it (S3.4's "selective concurrency").
+      for (int attempts = 0;;) {
+        // Subscription: an attempt while the fallback lock is held aborts
+        // at once; the implementation then spins until release before the
+        // next try (so storms serialize everyone but do not self-amplify).
+        while (ctx.htm_fallback.locked()) co_await Delay{s, c.backoff};
+        co_await Delay{s, c.traverse};
+        if (!leaf.lock.locked() && !ctx.htm_fallback.locked() &&
+            rng.next_below(128) != 0)
+          break;  // traversal committed
+        if (++attempts >= 3) {
+          co_await ctx.htm_fallback.acquire(s);
+          ctx.htm_fallbacks++;
+          co_await Delay{s, c.traverse};
+          ctx.htm_fallback.release(s);
+          break;
+        }
+        co_await Delay{s, c.backoff};
+      }
+      co_await leaf.lock.acquire(s);
+      co_await Delay{s, c.fp_scan + c.kv_write};
+      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // KV
+      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // fp
+      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // bitmap
+      leaf.last_commit = s.now();
+      leaf.lock.release(s);
+    } else {
+      // ----------------- FPTree find -----------------
+      // The whole find (traverse + leaf probe) is one HTM transaction; it
+      // "will always abort the transaction and traverse from the root
+      // again if the leaf is locked by another update" (S6.3.1).  Because
+      // the leaf lock is held across flushes, consecutive retries keep
+      // hitting the same locked leaf; after the retry budget the find
+      // escalates to the GLOBAL fallback lock and, while holding it, must
+      // still wait out the leaf writer — the serialization convoy that
+      // caps FPTree's scalability under skew (Figs 8(b), 9, 10).
+      //
+      for (int attempts = 0;;) {
+        bool committed = false;
+        while (ctx.htm_fallback.locked()) co_await Delay{s, c.backoff};
+        co_await Delay{s, c.traverse};
+        const SimTime t0 = s.now();
+        if (!leaf.lock.locked() && !ctx.htm_fallback.locked() &&
+            rng.next_below(128) != 0) {
+          co_await Delay{s, c.fp_scan};
+          committed = !leaf.lock.locked() && leaf.last_commit <= t0;
+        }
+        if (committed) break;
+        ctx.find_retries++;
+        if (++attempts >= 3) {
+          co_await ctx.htm_fallback.acquire(s);
+          ctx.htm_fallbacks++;
+          co_await Delay{s, c.traverse};
+          while (leaf.lock.locked()) co_await Delay{s, c.backoff};
+          co_await Delay{s, c.fp_scan};
+          ctx.htm_fallback.release(s);
+          break;
+        }
+        co_await Delay{s, c.backoff};
+      }
+    }
+
+    // --- bookkeeping ---
+    const SimTime latency = s.now() - arrival;
+    if (is_update)
+      ctx.update_latency.record(latency);
+    else
+      ctx.read_latency.record(latency);
+    ctx.completed++;
+  }
+}
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& cfg) {
+  Scheduler sched;
+  Ctx ctx(cfg, sched);
+  for (int w = 0; w < cfg.threads; ++w) sched.spawn(worker(ctx, w));
+  sched.run_until(cfg.horizon_ns);
+
+  SimResult res;
+  res.completed = ctx.completed;
+  res.mops = static_cast<double>(ctx.completed) /
+             (static_cast<double>(cfg.horizon_ns) * 1e-9) / 1e6;
+  res.read_latency = ctx.read_latency;
+  res.update_latency = ctx.update_latency;
+  res.find_retries = ctx.find_retries;
+  res.htm_fallbacks = ctx.htm_fallbacks;
+  return res;
+}
+
+}  // namespace rnt::sim

@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+namespace rnt::sim {
+
+Scheduler::~Scheduler() {
+  // Destroy all worker frames (suspended or finished); pending events hold
+  // non-owning handles into these frames.
+  for (auto h : tasks_)
+    if (h) h.destroy();
+}
+
+void Scheduler::spawn(Task t) {
+  tasks_.push_back(t.handle);
+  schedule(now_, t.handle);
+}
+
+void Scheduler::schedule(SimTime t, std::coroutine_handle<> h) {
+  queue_.push(Event{t, seq_++, h});
+}
+
+void Scheduler::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().t <= end) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    if (!ev.h.done()) ev.h.resume();
+  }
+  now_ = end;
+}
+
+}  // namespace rnt::sim

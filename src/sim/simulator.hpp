@@ -1,0 +1,167 @@
+// Deterministic discrete-event multicore simulator (C++20 coroutines).
+//
+// Why it exists: the paper's Figures 8-10 need 24 cores and TSX; this
+// reproduction host may have one core.  The multi-thread results in the
+// paper are driven almost entirely by *where time is spent under locks* and
+// *how persist latency queues on the NVM*, both of which a DES reproduces
+// exactly.  Workers are coroutines advancing a virtual clock; the paper's
+// thread-per-core binding means a spinning thread burns only its own core,
+// so cores never need to be modelled explicitly — only the shared resources:
+//
+//   * SimMutex       — FIFO lock (leaf spinlocks / leaf mutexes / HTM
+//                      fallback locks)
+//   * ChannelPool    — the NVM's interleaved channels: a persist occupies
+//                      one channel for its service time, so flush latency
+//                      inflates as concurrent flushers pile up (the paper's
+//                      testbed has two 6-way interleave sets)
+//   * per-leaf publish windows — the seqlock/HTM visibility windows readers
+//                      conflict with
+//
+// Everything is seeded and events are totally ordered by (time, sequence),
+// so a simulation is reproducible bit-for-bit.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <queue>
+#include <vector>
+
+namespace rnt::sim {
+
+using SimTime = std::uint64_t;  ///< virtual nanoseconds
+
+class Scheduler;
+
+/// Fire-and-forget coroutine owned by the Scheduler.
+struct Task {
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Register a worker coroutine; it first runs at the current time.
+  void spawn(Task t);
+
+  /// Enqueue a resume of @p h at time @p t (>= now).
+  void schedule(SimTime t, std::coroutine_handle<> h);
+
+  /// Process events until the queue is empty or the next event is past
+  /// @p end; now() is @p end afterwards.
+  void run_until(SimTime end);
+
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// co_await Delay{sched, ns}: advance this worker's clock.
+struct Delay {
+  Scheduler& s;
+  SimTime d;
+  bool await_ready() const noexcept { return d == 0; }
+  void await_suspend(std::coroutine_handle<> h) const { s.schedule(s.now() + d, h); }
+  void await_resume() const noexcept {}
+};
+
+/// FIFO mutex; acquire with `co_await m.acquire(sched)`.
+class SimMutex {
+ public:
+  struct Acquire {
+    SimMutex& m;
+    Scheduler& s;
+    bool await_ready() const noexcept {
+      if (!m.locked_) {
+        m.locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Acquire acquire(Scheduler& s) noexcept { return {*this, s}; }
+
+  /// Hand off to the next waiter (at the current time) or unlock.
+  void release(Scheduler& s) {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      s.schedule(s.now(), h);  // still locked: direct handoff
+    } else {
+      locked_ = false;
+    }
+  }
+
+  bool locked() const noexcept { return locked_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+ private:
+  friend struct Acquire;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// The NVM's interleaved channels.  A flush OCCUPIES a channel only for the
+/// line-transfer time (the bandwidth term: 64 B / 34 GB/s plus controller
+/// overhead), while the issuing thread stalls for the full fence round-trip
+/// latency on top of any queueing.  Keeping occupancy and latency separate
+/// lets many threads flush concurrently (flushes pipeline on real NVDIMMs)
+/// while still inflating under genuine bandwidth pressure.
+class ChannelPool {
+ public:
+  ChannelPool(int channels, SimTime latency, SimTime occupancy)
+      : busy_until_(static_cast<std::size_t>(channels), 0),
+        latency_(latency),
+        occupancy_(occupancy) {}
+
+  /// Total stall (queue wait + fence latency) of a persist issued at @p now.
+  SimTime persist_latency(SimTime now) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < busy_until_.size(); ++i)
+      if (busy_until_[i] < busy_until_[best]) best = i;
+    const SimTime start = busy_until_[best] > now ? busy_until_[best] : now;
+    busy_until_[best] = start + occupancy_;
+    return (start - now) + latency_;
+  }
+
+  SimTime latency() const noexcept { return latency_; }
+
+ private:
+  std::vector<SimTime> busy_until_;
+  SimTime latency_;
+  SimTime occupancy_;
+};
+
+}  // namespace rnt::sim

@@ -1,0 +1,91 @@
+// YCSB-style operation mixes and per-thread operation streams.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "workload/zipfian.hpp"
+
+namespace rnt::workload {
+
+enum class OpType : std::uint8_t { kFind, kInsert, kUpdate, kRemove, kScan };
+
+/// Operation mix in percent; must sum to 100.
+struct MixSpec {
+  int find_pct = 0;
+  int insert_pct = 0;
+  int update_pct = 0;
+  int remove_pct = 0;
+  int scan_pct = 0;
+
+  constexpr int total() const noexcept {
+    return find_pct + insert_pct + update_pct + remove_pct + scan_pct;
+  }
+
+  /// YCSB-A: 50% update, 50% read (the paper's default concurrent workload).
+  static constexpr MixSpec ycsb_a() noexcept { return {50, 0, 50, 0, 0}; }
+  /// The paper's "skewed read intensive" mix: 90% read, 10% update.
+  static constexpr MixSpec read_intensive() noexcept { return {90, 0, 10, 0, 0}; }
+  /// YCSB-C: read only.
+  static constexpr MixSpec ycsb_c() noexcept { return {100, 0, 0, 0, 0}; }
+  /// The paper's single-thread mixed benchmark: 25% each of
+  /// find/insert/update/remove.
+  static constexpr MixSpec mixed_25() noexcept { return {25, 25, 25, 25, 0}; }
+};
+
+struct Op {
+  OpType type;
+  std::uint64_t key;     ///< key index in [0, items)
+  std::uint32_t scan_n;  ///< number of KVs for kScan
+};
+
+enum class KeyDist : std::uint8_t { kUniform, kZipfian, kScrambledZipfian };
+
+/// Deterministic per-thread operation stream.
+class OpStream {
+ public:
+  OpStream(MixSpec mix, KeyDist dist, std::uint64_t items, double theta,
+           std::uint64_t seed, std::uint32_t scan_n = 100)
+      : mix_(mix), rng_(seed ^ 0x5151515151ull), scan_n_(scan_n) {
+    if (mix.total() != 100) throw std::invalid_argument("MixSpec must sum to 100");
+    switch (dist) {
+      case KeyDist::kUniform:
+        gen_.emplace<UniformGenerator>(items, seed);
+        break;
+      case KeyDist::kZipfian:
+        gen_.emplace<ZipfianGenerator>(items, theta, seed);
+        break;
+      case KeyDist::kScrambledZipfian:
+        gen_.emplace<ScrambledZipfianGenerator>(items, theta, seed);
+        break;
+    }
+  }
+
+  Op next() noexcept {
+    const auto roll = static_cast<int>(rng_.next_below(100));
+    OpType t;
+    if (roll < mix_.find_pct)
+      t = OpType::kFind;
+    else if (roll < mix_.find_pct + mix_.insert_pct)
+      t = OpType::kInsert;
+    else if (roll < mix_.find_pct + mix_.insert_pct + mix_.update_pct)
+      t = OpType::kUpdate;
+    else if (roll < mix_.find_pct + mix_.insert_pct + mix_.update_pct + mix_.remove_pct)
+      t = OpType::kRemove;
+    else
+      t = OpType::kScan;
+    const std::uint64_t key = std::visit([](auto& g) { return g.next(); }, gen_);
+    return {t, key, scan_n_};
+  }
+
+ private:
+  MixSpec mix_;
+  std::variant<UniformGenerator, ZipfianGenerator, ScrambledZipfianGenerator> gen_{
+      UniformGenerator(1, 1)};
+  Xoshiro256 rng_;
+  std::uint32_t scan_n_;
+};
+
+}  // namespace rnt::workload

@@ -1,0 +1,55 @@
+#include "workload/zipfian.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace rnt::workload {
+
+namespace {
+
+// zeta(n, theta) is O(n); memoise it — the benchmarks construct many
+// generators over the same (n, theta) pairs (one per thread / per sweep).
+std::mutex g_zeta_mu;
+std::map<std::pair<std::uint64_t, double>, double> g_zeta_cache;
+
+}  // namespace
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) noexcept {
+  {
+    std::lock_guard lk(g_zeta_mu);
+    auto it = g_zeta_cache.find({n, theta});
+    if (it != g_zeta_cache.end()) return it->second;
+  }
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  {
+    std::lock_guard lk(g_zeta_mu);
+    g_zeta_cache[{n, theta}] = sum;
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta,
+                                   std::uint64_t seed)
+    : items_(items), theta_(theta), rng_(seed) {
+  const double zeta2 = zeta(2, theta);
+  zetan_ = zeta(items, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+std::uint64_t ZipfianGenerator::next() noexcept {
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+}  // namespace rnt::workload

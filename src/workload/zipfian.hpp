@@ -1,0 +1,68 @@
+// YCSB-style request-distribution generators.
+//
+// The paper's concurrent evaluation uses YCSB-A (50% update / 50% find) with
+// uniform and Zipfian key popularity; the skew experiments sweep the Zipfian
+// coefficient theta in [0.5, 0.99].  ZipfianGenerator implements the standard
+// YCSB algorithm (Gray et al.'s rejection-free inverse-CDF approximation with
+// the zeta normalisation constant); ScrambledZipfian additionally hashes the
+// rank so that hot keys are spread over the key space — the paper: "We hash
+// keys to distribute hottest keys to different leaf nodes."
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace rnt::workload {
+
+class UniformGenerator {
+ public:
+  UniformGenerator(std::uint64_t items, std::uint64_t seed)
+      : items_(items), rng_(seed) {}
+
+  std::uint64_t next() noexcept { return rng_.next_below(items_); }
+  std::uint64_t items() const noexcept { return items_; }
+
+ private:
+  std::uint64_t items_;
+  Xoshiro256 rng_;
+};
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  /// Ranks are drawn from [0, items); rank 0 is the hottest.
+  ZipfianGenerator(std::uint64_t items, double theta, std::uint64_t seed);
+
+  std::uint64_t next() noexcept;
+  std::uint64_t items() const noexcept { return items_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept;
+
+  std::uint64_t items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+  Xoshiro256 rng_;
+};
+
+/// Zipfian ranks scrambled over the key space with a stateless 64-bit mixer.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(std::uint64_t items, double theta, std::uint64_t seed)
+      : zipf_(items, theta, seed), items_(items) {}
+
+  std::uint64_t next() noexcept { return mix64(zipf_.next()) % items_; }
+  std::uint64_t items() const noexcept { return items_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  std::uint64_t items_;
+};
+
+}  // namespace rnt::workload

@@ -1,0 +1,149 @@
+// Tests for src/common: cache-line math, RNG determinism, timing, histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/cacheline.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+namespace rnt {
+namespace {
+
+TEST(CacheLine, AlignUpDown) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_down(63, 64), 0u);
+  EXPECT_EQ(align_down(64, 64), 64u);
+  EXPECT_EQ(align_down(130, 64), 128u);
+}
+
+TEST(CacheLine, LineOf) {
+  alignas(64) char buf[256];
+  EXPECT_EQ(line_of(buf), reinterpret_cast<std::uintptr_t>(buf));
+  EXPECT_EQ(line_of(buf + 63), reinterpret_cast<std::uintptr_t>(buf));
+  EXPECT_EQ(line_of(buf + 64), reinterpret_cast<std::uintptr_t>(buf) + 64);
+}
+
+TEST(CacheLine, LinesSpanned) {
+  alignas(64) char buf[512];
+  EXPECT_EQ(lines_spanned(buf, 0), 0u);
+  EXPECT_EQ(lines_spanned(buf, 1), 1u);
+  EXPECT_EQ(lines_spanned(buf, 64), 1u);
+  EXPECT_EQ(lines_spanned(buf, 65), 2u);
+  EXPECT_EQ(lines_spanned(buf + 60, 8), 2u);  // straddles a boundary
+  EXPECT_EQ(lines_spanned(buf, 256), 4u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, Mix64IsBijectivelyScrambling) {
+  // No collisions over a modest sample (mix64 is a bijection of u64).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Timing, BusyWaitWaitsApproximately) {
+  const std::uint64_t t0 = now_ns();
+  busy_wait_ns(2'000'000);  // 2 ms is long enough to measure reliably
+  const std::uint64_t dt = now_ns() - t0;
+  EXPECT_GE(dt, 1'500'000u);
+  EXPECT_LT(dt, 60'000'000u);  // generous: CI machines stall
+}
+
+TEST(Timing, BusyWaitZeroIsNoop) {
+  const std::uint64_t t0 = now_ns();
+  for (int i = 0; i < 1000; ++i) busy_wait_ns(0);
+  EXPECT_LT(now_ns() - t0, 10'000'000u);
+}
+
+TEST(Histogram, BasicPercentiles) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // Log buckets: results are upper bounds within ~6% of the exact value.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 500.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 990.0, 70.0);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_NEAR(h.mean(), 500.5, 0.5);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_GE(a.percentile(0.99), 1000u * 95 / 100);
+  EXPECT_LE(a.percentile(0.25), 16u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, LargeValues) {
+  LatencyHistogram h;
+  h.record(5'000'000'000ull);  // 5 s
+  EXPECT_GE(h.percentile(1.0), 4'500'000'000ull);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,141 @@
+// Cross-module integration tests: file-backed pools with real reopen,
+// multiple trees sharing one pool, allocator exhaustion behaviour, and
+// mixed tree types over a common pool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/fptree.hpp"
+#include "common/timing.hpp"
+#include "core/rntree.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt {
+namespace {
+
+using Tree = core::RNTree<std::uint64_t, std::uint64_t>;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = nvm::config();
+    nvm::config().write_latency_ns = 0;
+    nvm::config().per_line_ns = 0;
+  }
+  void TearDown() override { nvm::config() = saved_; }
+  nvm::NvmConfig saved_;
+};
+
+TEST_F(IntegrationTest, FileBackedTreeSurvivesRealReopen) {
+  const std::string path = ::testing::TempDir() + "/rnt_integration.pmem";
+  std::remove(path.c_str());
+  {
+    nvm::PmemPool pool(32u << 20, path);
+    Tree tree(pool);
+    for (std::uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(tree.insert(i, i * 13));
+    tree.close();
+  }  // pool unmapped: a true process-lifetime boundary for the mapping
+  {
+    nvm::PmemPool pool(path);
+    Tree tree(Tree::recover_t{}, pool);
+    EXPECT_EQ(tree.size(), 2000u);
+    for (std::uint64_t i = 0; i < 2000; ++i)
+      ASSERT_EQ(tree.find(i), std::optional<std::uint64_t>(i * 13));
+    tree.check_invariants();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, FileBackedDirtyReopenTakesCrashPath) {
+  const std::string path = ::testing::TempDir() + "/rnt_integration2.pmem";
+  std::remove(path.c_str());
+  {
+    nvm::PmemPool pool(32u << 20, path);
+    Tree tree(pool);
+    for (std::uint64_t i = 0; i < 500; ++i) ASSERT_TRUE(tree.insert(i, i));
+    // no close(): the pool stays dirty, like a crash with everything flushed
+  }
+  {
+    nvm::PmemPool pool(path);
+    EXPECT_FALSE(pool.clean_shutdown());
+    Tree tree(Tree::recover_t{}, pool);
+    EXPECT_EQ(tree.size(), 500u);
+    tree.check_invariants();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, TwoTreesShareOnePool) {
+  nvm::PmemPool pool(std::size_t{64} << 20);
+  Tree a(pool, {.dual_slot = true, .root_slot = 0});
+  Tree b(pool, {.dual_slot = false, .root_slot = 1});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(a.insert(i, i));
+    ASSERT_TRUE(b.insert(i, i * 2));
+  }
+  EXPECT_EQ(a.find(500), std::optional<std::uint64_t>(500));
+  EXPECT_EQ(b.find(500), std::optional<std::uint64_t>(1000));
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(b.size(), 1000u);
+}
+
+TEST_F(IntegrationTest, MixedTreeTypesShareOnePool) {
+  nvm::PmemPool pool(std::size_t{64} << 20);
+  Tree rn(pool, {.dual_slot = true, .root_slot = 0});
+  baselines::FPTree<> fp(pool, {.root_slot = 1});
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(rn.insert(i, i + 1));
+    ASSERT_TRUE(fp.insert(i, i + 2));
+  }
+  EXPECT_EQ(rn.find(77), std::optional<std::uint64_t>(78));
+  EXPECT_EQ(fp.find(77), std::optional<std::uint64_t>(79));
+}
+
+TEST_F(IntegrationTest, PoolExhaustionThrowsCleanly) {
+  // A pool too small for the workload: leaf allocation eventually fails and
+  // the tree reports it as bad_alloc instead of corrupting state.
+  nvm::PmemPool pool(std::size_t{4} << 20);  // ~2 MB usable
+  Tree tree(pool);
+  EXPECT_THROW(
+      {
+        for (std::uint64_t i = 0;; ++i) ASSERT_TRUE(tree.insert(i, i));
+      },
+      std::bad_alloc);
+}
+
+TEST_F(IntegrationTest, CloseIsIdempotentAcrossRecoveryGenerations) {
+  nvm::PmemPool pool(std::size_t{32} << 20);
+  {
+    Tree tree(pool);
+    for (std::uint64_t i = 0; i < 300; ++i) ASSERT_TRUE(tree.insert(i, 1));
+    tree.close();
+  }
+  for (int gen = 0; gen < 3; ++gen) {
+    pool.reopen_volatile();
+    Tree tree(Tree::recover_t{}, pool);
+    EXPECT_EQ(tree.size(), 300u + static_cast<std::uint64_t>(gen));
+    ASSERT_TRUE(tree.insert(1000 + static_cast<std::uint64_t>(gen), 1));
+    tree.close();
+  }
+}
+
+TEST_F(IntegrationTest, LatencyInjectionIsObservable) {
+  // The configured NVM latency must actually slow modifies (guards against
+  // the injection silently breaking).
+  nvm::PmemPool pool(std::size_t{64} << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 1000; ++i) ASSERT_TRUE(tree.insert(i, i));
+
+  auto time_updates = [&](std::uint32_t ns) {
+    nvm::config().write_latency_ns = ns;
+    const std::uint64_t t0 = now_ns();
+    for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(tree.update(i, i));
+    return now_ns() - t0;
+  };
+  const std::uint64_t fast = time_updates(0);
+  const std::uint64_t slow = time_updates(100'000);  // 100 us x 2 per update
+  EXPECT_GT(slow, fast + 1000u * 150'000u);
+}
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,124 @@
+// Tests for the persistent-instruction primitives: counters, latency
+// accounting, and the paper's "persistent instruction" compound semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timing.hpp"
+#include "nvm/persist.hpp"
+
+namespace rnt::nvm {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().write_latency_ns = 0;  // no delays unless a test asks for them
+    config().per_line_ns = 0;
+    tls_stats().reset();
+  }
+  void TearDown() override { config() = saved_; }
+  NvmConfig saved_;
+};
+
+TEST_F(PersistTest, PersistCountsOneCompound) {
+  alignas(64) char buf[256];
+  const PersistStats before = tls_stats();
+  persist(buf, 64);
+  const PersistStats d = tls_stats() - before;
+  EXPECT_EQ(d.persist, 1u);
+  EXPECT_EQ(d.clwb, 1u);
+  EXPECT_EQ(d.fence, 1u);
+  EXPECT_EQ(d.lines, 1u);
+}
+
+TEST_F(PersistTest, PersistFlushesEveryTouchedLine) {
+  alignas(64) char buf[512];
+  const PersistStats before = tls_stats();
+  persist(buf + 32, 64);  // straddles two lines
+  PersistStats d = tls_stats() - before;
+  EXPECT_EQ(d.persist, 1u);
+  EXPECT_EQ(d.clwb, 2u);
+
+  const PersistStats before2 = tls_stats();
+  persist(buf, 512);
+  d = tls_stats() - before2;
+  EXPECT_EQ(d.clwb, 8u);
+  EXPECT_EQ(d.fence, 1u);
+}
+
+TEST_F(PersistTest, FenceWithoutPendingChargesNothing) {
+  const PersistStats before = tls_stats();
+  sfence();
+  const PersistStats d = tls_stats() - before;
+  EXPECT_EQ(d.fence, 1u);
+  EXPECT_EQ(d.lines, 0u);
+}
+
+TEST_F(PersistTest, LatencyChargedAtFence) {
+  alignas(64) char buf[64];
+  config().write_latency_ns = 200'000;  // 200 us: measurable
+  const std::uint64_t t0 = now_ns();
+  persist(buf, 64);
+  const std::uint64_t dt = now_ns() - t0;
+  EXPECT_GE(dt, 150'000u);
+}
+
+TEST_F(PersistTest, PerLineBandwidthTerm) {
+  alignas(64) char buf[64 * 32];
+  config().write_latency_ns = 0;
+  config().per_line_ns = 20'000;  // inflated for measurability
+  const std::uint64_t t0 = now_ns();
+  persist(buf, sizeof(buf));  // 32 lines -> 31 extra-line charges
+  const std::uint64_t dt = now_ns() - t0;
+  EXPECT_GE(dt, 31u * 20'000u * 3 / 4);
+}
+
+TEST_F(PersistTest, StoreHelpersWriteThrough) {
+  std::uint64_t x = 0;
+  store(x, std::uint64_t{42});
+  EXPECT_EQ(x, 42u);
+
+  std::atomic<std::uint64_t> a{0};
+  store_release(a, std::uint64_t{7});
+  EXPECT_EQ(a.load(), 7u);
+
+  char src[16] = "hello";
+  char dst[16] = {};
+  copy_nvm(dst, src, 16);
+  EXPECT_STREQ(dst, "hello");
+
+  set_nvm(dst, 0, 16);
+  EXPECT_EQ(dst[0], 0);
+}
+
+TEST_F(PersistTest, AggregateSumsAcrossThreads) {
+  alignas(64) char buf[64];
+  reset_aggregate_stats();
+  persist(buf, 8);
+  std::thread t([&] {
+    alignas(64) char tbuf[64];
+    persist(tbuf, 8);
+    persist(tbuf, 8);
+  });
+  t.join();
+  const PersistStats agg = aggregate_stats();
+  EXPECT_EQ(agg.persist, 3u);
+  EXPECT_EQ(agg.fence, 3u);
+}
+
+TEST_F(PersistTest, ResetAggregateClears) {
+  alignas(64) char buf[64];
+  persist(buf, 8);
+  reset_aggregate_stats();
+  EXPECT_EQ(aggregate_stats().persist, 0u);
+  EXPECT_EQ(tls_stats().persist, 0u);
+}
+
+TEST_F(PersistTest, NoShadowActiveByDefault) {
+  EXPECT_EQ(shadow_active(), nullptr);
+}
+
+}  // namespace
+}  // namespace rnt::nvm

@@ -1,0 +1,218 @@
+// Tests for the ShadowPool crash simulator — the core of the reproduction's
+// crash-consistency story.  Verifies the modelled x86+NVM semantics:
+// unflushed stores are lost, fenced stores survive, HTM-transaction stores
+// are all-or-nothing, and injected CrashPoints fire deterministically.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/pool.hpp"
+#include "nvm/shadow.hpp"
+
+namespace rnt::nvm {
+namespace {
+
+constexpr std::size_t kPoolSize = 8u << 20;
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().write_latency_ns = 0;
+    config().per_line_ns = 0;
+  }
+  void TearDown() override { config() = saved_; }
+  NvmConfig saved_;
+};
+
+TEST_F(ShadowTest, UnflushedStoreIsLostOnCrash) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  store(*p, std::uint64_t{1});
+  persist(p, 8);
+
+  ShadowPool shadow(pool);
+  store(*p, std::uint64_t{2});  // dirty, never flushed
+  EXPECT_EQ(*p, 2u);
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 1u);  // rolled back to the durable value
+}
+
+TEST_F(ShadowTest, FlushedStoreSurvivesCrash) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  store(*p, std::uint64_t{7});
+  persist(p, 8);
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 7u);
+}
+
+TEST_F(ShadowTest, ClwbWithoutFenceIsNotDurable) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  store(*p, std::uint64_t{5});
+  persist(p, 8);
+  ShadowPool shadow(pool);
+  store(*p, std::uint64_t{9});
+  clwb(p);  // writeback initiated, no fence
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 5u);  // strict mode: pending lines are lost too
+}
+
+TEST_F(ShadowTest, StoreAfterClwbMakesLineDirtyAgain) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  store(*p, std::uint64_t{1});
+  clwb(p);
+  store(*p, std::uint64_t{2});  // same line, after clwb, before fence
+  sfence();
+  // The fence drained an *empty* pending set for this line: value 2 was
+  // re-dirtied and is not durable.
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_NE(*p, 2u);
+}
+
+TEST_F(ShadowTest, LineGranularityRollsBackWholeLine) {
+  PmemPool pool(kPoolSize);
+  auto* base = pool.ptr<std::uint64_t>(pool.alloc(128));
+  store(base[0], std::uint64_t{10});
+  store(base[1], std::uint64_t{11});
+  persist(base, 16);
+  ShadowPool shadow(pool);
+  store(base[0], std::uint64_t{20});
+  store(base[1], std::uint64_t{21});  // same cache line
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(base[0], 10u);
+  EXPECT_EQ(base[1], 11u);
+}
+
+TEST_F(ShadowTest, IndependentLinesTrackedIndependently) {
+  PmemPool pool(kPoolSize);
+  auto* a = pool.ptr<std::uint64_t>(pool.alloc(64));
+  auto* b = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  store(*a, std::uint64_t{1});
+  store(*b, std::uint64_t{2});
+  persist(a, 8);  // only a is flushed
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*a, 1u);
+  EXPECT_NE(*b, 2u);
+}
+
+TEST_F(ShadowTest, HtmTransactionIsAllOrNothing) {
+  PmemPool pool(kPoolSize);
+  auto* a = pool.ptr<std::uint64_t>(pool.alloc(64));
+  auto* b = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+
+  // Uncommitted transaction: stores never reach NVM, even under random
+  // eviction (RTM keeps speculative lines pinned in L1).
+  htm_tx_begin();
+  store(*a, std::uint64_t{1});
+  store(*b, std::uint64_t{2});
+  // Crash strikes before commit:
+  shadow.simulate_crash(EvictionMode::kRandomEviction, /*seed=*/123);
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 0u);
+}
+
+TEST_F(ShadowTest, CommittedTransactionLinesBecomeEvictable) {
+  PmemPool pool(kPoolSize);
+  auto* a = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  htm_tx_begin();
+  store(*a, std::uint64_t{3});
+  htm_tx_commit();
+  // Not yet flushed: strict crash loses it...
+  EXPECT_EQ(shadow.unflushed_lines(), 1u);
+  persist(a, 8);  // ...but an explicit flush makes it durable.
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*a, 3u);
+}
+
+TEST_F(ShadowTest, RandomEvictionIsSeedDeterministic) {
+  PmemPool pool(kPoolSize);
+  constexpr int kN = 64;
+  auto* arr = pool.ptr<std::uint64_t>(pool.alloc(kN * 64));
+  ShadowPool shadow(pool);
+
+  auto run = [&](std::uint64_t seed) {
+    for (int i = 0; i < kN; ++i) store(arr[i * 8], std::uint64_t(i + 100));
+    shadow.simulate_crash(EvictionMode::kRandomEviction, seed);
+    std::vector<std::uint64_t> out(kN);
+    for (int i = 0; i < kN; ++i) out[i] = arr[i * 8];
+    // Reset for the next run: make everything durable at 0.
+    for (int i = 0; i < kN; ++i) store(arr[i * 8], std::uint64_t{0});
+    persist(arr, kN * 64);
+    return out;
+  };
+
+  const auto r1 = run(42);
+  const auto r2 = run(42);
+  EXPECT_EQ(r1, r2);
+  // With 64 lines and p=1/2, some must survive and some must be lost.
+  int survived = 0;
+  for (int i = 0; i < kN; ++i) survived += (r1[i] != 0);
+  EXPECT_GT(survived, 5);
+  EXPECT_LT(survived, kN - 5);
+}
+
+TEST_F(ShadowTest, ScheduledCrashThrowsAtExactEvent) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  shadow.schedule_crash_after(3);
+  store(*p, std::uint64_t{1});  // event 1
+  store(*p, std::uint64_t{2});  // event 2
+  EXPECT_THROW(store(*p, std::uint64_t{3}), CrashPoint);  // event 3
+  EXPECT_TRUE(shadow.crashed());
+  // Subsequent traffic is ignored until simulate_crash().
+  store(*p, std::uint64_t{4});
+  persist(p, 8);
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 0u);  // nothing was durable before the crash
+  EXPECT_FALSE(shadow.crashed());
+}
+
+TEST_F(ShadowTest, FenceCountsAsEvent) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  const std::uint64_t e0 = shadow.events_seen();
+  store(*p, std::uint64_t{1});
+  persist(p, 8);
+  EXPECT_EQ(shadow.events_seen(), e0 + 2);  // store + fence
+}
+
+TEST_F(ShadowTest, CrashDuringPersistKeepsFencedPrefix) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(128));
+  ShadowPool shadow(pool);
+  store(p[0], std::uint64_t{1});
+  persist(&p[0], 8);  // durable
+  shadow.schedule_crash_after(1);
+  EXPECT_THROW(store(p[8], std::uint64_t{2}), CrashPoint);
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[8], 0u);
+}
+
+TEST_F(ShadowTest, OnlyOneShadowAtATime) {
+  PmemPool pool(kPoolSize);
+  ShadowPool shadow(pool);
+  EXPECT_THROW(ShadowPool second(pool), std::logic_error);
+}
+
+TEST_F(ShadowTest, DetachRestoresFastPath) {
+  PmemPool pool(kPoolSize);
+  {
+    ShadowPool shadow(pool);
+    EXPECT_EQ(shadow_active(), &shadow);
+  }
+  EXPECT_EQ(shadow_active(), nullptr);
+}
+
+}  // namespace
+}  // namespace rnt::nvm

@@ -1,0 +1,119 @@
+// Property tests for the slot-array helpers — the indirection at the heart
+// of both RNTree and wB+tree.  Exercises randomized op sequences against a
+// sorted-vector oracle across the full range of occupancies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/slot_util.hpp"
+
+namespace rnt::core {
+namespace {
+
+struct Entry {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+class SlotProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(SlotProperty, RandomOpsMatchSortedOracle) {
+  Xoshiro256 rng(GetParam());
+  alignas(64) std::uint8_t slot[64] = {};
+  Entry logs[64];
+  std::vector<std::uint64_t> oracle;  // sorted keys
+
+  // A log position not referenced by any live slot (mimics reclamation).
+  auto free_log = [&]() -> int {
+    bool used[64] = {};
+    for (int i = 0; i < slot[0]; ++i) used[slot[1 + i]] = true;
+    for (int i = 0; i < 64; ++i)
+      if (!used[i]) return i;
+    return -1;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t k = rng.next_below(200);
+    const int pos = slot_lower_bound(slot, logs, k);
+    const bool exists = slot_match(slot, logs, pos, k);
+    // Oracle agreement on search results.
+    const auto it = std::lower_bound(oracle.begin(), oracle.end(), k);
+    ASSERT_EQ(pos, static_cast<int>(it - oracle.begin()));
+    ASSERT_EQ(exists, it != oracle.end() && *it == k);
+
+    if (rng.next_below(3) == 0 && exists) {
+      slot_remove_at(slot, pos);
+      oracle.erase(it);
+    } else if (!exists && slot[0] < kSlotCap) {
+      const int idx = free_log();
+      ASSERT_GE(idx, 0);
+      logs[idx] = {k, k * 7};
+      slot_insert_at(slot, pos, static_cast<std::uint8_t>(idx));
+      oracle.insert(it, k);
+    } else if (exists) {
+      // Update: re-point the slot at a fresh log entry, order unchanged.
+      const int idx = free_log();
+      ASSERT_GE(idx, 0);
+      logs[idx] = {k, k * 11};
+      slot[1 + pos] = static_cast<std::uint8_t>(idx);
+    }
+
+    // Invariants after every step.
+    ASSERT_EQ(slot[0], oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i)
+      ASSERT_EQ(logs[slot[1 + i]].key, oracle[i]);
+  }
+}
+
+TEST(SlotUtil, EmptySlotSearch) {
+  alignas(64) std::uint8_t slot[64] = {};
+  Entry logs[1];
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{5}), 0);
+  EXPECT_FALSE(slot_match(slot, logs, 0, std::uint64_t{5}));
+}
+
+TEST(SlotUtil, FullSlotBoundarySearches) {
+  alignas(64) std::uint8_t slot[64];
+  Entry logs[64];
+  slot[0] = kSlotCap;
+  for (std::uint32_t i = 0; i < kSlotCap; ++i) {
+    logs[i] = {i * 10 + 10, i};
+    slot[1 + i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{0}), 0);
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{10}), 0);
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{11}), 1);
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{630}), 62);
+  EXPECT_EQ(slot_lower_bound(slot, logs, std::uint64_t{631}), 63);
+  EXPECT_TRUE(slot_match(slot, logs, 62, std::uint64_t{630}));
+}
+
+TEST(SlotUtil, InsertRemoveAtEveryPosition) {
+  for (int target = 0; target < 16; ++target) {
+    alignas(64) std::uint8_t slot[64];
+    Entry logs[64];
+    slot[0] = 16;
+    for (int i = 0; i < 16; ++i) {
+      logs[i] = {static_cast<std::uint64_t>(i * 2), 0};
+      slot[1 + i] = static_cast<std::uint8_t>(i);
+    }
+    // Remove at `target`, reinsert the same key: identical array.
+    const std::uint64_t k = static_cast<std::uint64_t>(target * 2);
+    slot_remove_at(slot, target);
+    EXPECT_EQ(slot[0], 15);
+    const int pos = slot_lower_bound(slot, logs, k);
+    EXPECT_EQ(pos, target);
+    slot_insert_at(slot, pos, static_cast<std::uint8_t>(target));
+    EXPECT_EQ(slot[0], 16);
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(logs[slot[1 + i]].key, static_cast<std::uint64_t>(i * 2));
+  }
+}
+
+}  // namespace
+}  // namespace rnt::core

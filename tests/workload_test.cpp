@@ -1,0 +1,148 @@
+// Tests for the YCSB workload substrate: Zipfian correctness (distribution
+// shape, determinism), scrambling, and operation mixes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "workload/ycsb.hpp"
+#include "workload/zipfian.hpp"
+
+namespace rnt::workload {
+namespace {
+
+TEST(Uniform, CoversRangeUniformly) {
+  UniformGenerator gen(1000, 42);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[gen.next()];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 100);
+  EXPECT_LT(*mx, 320);
+}
+
+TEST(Zipfian, RanksWithinBounds) {
+  ZipfianGenerator gen(10000, 0.8, 1);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(gen.next(), 10000u);
+}
+
+TEST(Zipfian, Deterministic) {
+  ZipfianGenerator a(5000, 0.9, 77), b(5000, 0.9, 77);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipfian, HotKeysFollowZipfShape) {
+  // For theta=0.99 over n=10000, YCSB's zipfian gives rank 0 probability
+  // 1/zeta(n, theta); check the empirical top-1 frequency against theory
+  // and check monotone decay over the first few ranks.
+  constexpr std::uint64_t kN = 10000;
+  constexpr double kTheta = 0.99;
+  ZipfianGenerator gen(kN, kTheta, 3);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.next()];
+
+  double zetan = 0;
+  for (std::uint64_t i = 1; i <= kN; ++i)
+    zetan += 1.0 / std::pow(static_cast<double>(i), kTheta);
+  const double expected_p0 = 1.0 / zetan;
+  const double observed_p0 = static_cast<double>(counts[0]) / kSamples;
+  EXPECT_NEAR(observed_p0, expected_p0, expected_p0 * 0.15);
+
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[3], counts[10]);
+}
+
+TEST(Zipfian, HigherThetaIsMoreSkewed) {
+  auto top1_share = [](double theta) {
+    ZipfianGenerator gen(10000, theta, 9);
+    int hot = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) hot += (gen.next() == 0);
+    return static_cast<double>(hot) / kSamples;
+  };
+  EXPECT_GT(top1_share(0.99), top1_share(0.8));
+  EXPECT_GT(top1_share(0.8), top1_share(0.5));
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  // After scrambling, the hottest keys must not be adjacent ranks.
+  ScrambledZipfianGenerator gen(1 << 20, 0.99, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[gen.next()];
+  std::vector<std::pair<int, std::uint64_t>> by_count;
+  for (auto& [k, c] : counts) by_count.emplace_back(c, k);
+  std::sort(by_count.rbegin(), by_count.rend());
+  ASSERT_GE(by_count.size(), 3u);
+  const std::uint64_t k0 = by_count[0].second, k1 = by_count[1].second;
+  const std::uint64_t gap = k0 > k1 ? k0 - k1 : k1 - k0;
+  EXPECT_GT(gap, 1000u);  // mixed far apart in the key space
+}
+
+TEST(ScrambledZipfian, StillSkewed) {
+  ScrambledZipfianGenerator gen(1 << 16, 0.99, 5);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.next()];
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, kSamples / 200);  // a hot key exists
+}
+
+TEST(MixSpec, PresetsSumTo100) {
+  EXPECT_EQ(MixSpec::ycsb_a().total(), 100);
+  EXPECT_EQ(MixSpec::read_intensive().total(), 100);
+  EXPECT_EQ(MixSpec::ycsb_c().total(), 100);
+  EXPECT_EQ(MixSpec::mixed_25().total(), 100);
+}
+
+TEST(OpStream, RespectsMixProportions) {
+  OpStream s(MixSpec::ycsb_a(), KeyDist::kUniform, 1000, 0.0, 11);
+  int finds = 0, updates = 0, others = 0;
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) {
+    const Op op = s.next();
+    if (op.type == OpType::kFind)
+      ++finds;
+    else if (op.type == OpType::kUpdate)
+      ++updates;
+    else
+      ++others;
+  }
+  EXPECT_EQ(others, 0);
+  EXPECT_NEAR(finds, kOps / 2, kOps / 40);
+  EXPECT_NEAR(updates, kOps / 2, kOps / 40);
+}
+
+TEST(OpStream, MixedBenchmarkHasAllFourOps) {
+  OpStream s(MixSpec::mixed_25(), KeyDist::kUniform, 1000, 0.0, 13);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 40000; ++i) ++counts[s.next().type];
+  EXPECT_EQ(counts.size(), 4u);
+  for (auto& [t, c] : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(OpStream, InvalidMixThrows) {
+  EXPECT_THROW(OpStream(MixSpec{50, 0, 0, 0, 0}, KeyDist::kUniform, 10, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(OpStream, KeysWithinItemRange) {
+  OpStream s(MixSpec::ycsb_a(), KeyDist::kScrambledZipfian, 5000, 0.8, 17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(s.next().key, 5000u);
+}
+
+TEST(OpStream, DeterministicPerSeed) {
+  OpStream a(MixSpec::ycsb_a(), KeyDist::kZipfian, 1000, 0.8, 23);
+  OpStream b(MixSpec::ycsb_a(), KeyDist::kZipfian, 1000, 0.8, 23);
+  for (int i = 0; i < 1000; ++i) {
+    const Op x = a.next(), y = b.next();
+    EXPECT_EQ(x.type, y.type);
+    EXPECT_EQ(x.key, y.key);
+  }
+}
+
+}  // namespace
+}  // namespace rnt::workload

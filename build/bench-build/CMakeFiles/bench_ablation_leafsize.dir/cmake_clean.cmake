@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_leafsize"
+  "../bench/bench_ablation_leafsize.pdb"
+  "CMakeFiles/bench_ablation_leafsize.dir/bench_ablation_leafsize.cpp.o"
+  "CMakeFiles/bench_ablation_leafsize.dir/bench_ablation_leafsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leafsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_skew"
+  "../bench/bench_fig10_skew.pdb"
+  "CMakeFiles/bench_fig10_skew.dir/bench_fig10_skew.cpp.o"
+  "CMakeFiles/bench_fig10_skew.dir/bench_fig10_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_single_thread"
+  "../bench/bench_fig4_single_thread.pdb"
+  "CMakeFiles/bench_fig4_single_thread.dir/bench_fig4_single_thread.cpp.o"
+  "CMakeFiles/bench_fig4_single_thread.dir/bench_fig4_single_thread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_conditional"
+  "../bench/bench_fig5_conditional.pdb"
+  "CMakeFiles/bench_fig5_conditional.dir/bench_fig5_conditional.cpp.o"
+  "CMakeFiles/bench_fig5_conditional.dir/bench_fig5_conditional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_range_query"
+  "../bench/bench_fig6_range_query.pdb"
+  "CMakeFiles/bench_fig6_range_query.dir/bench_fig6_range_query.cpp.o"
+  "CMakeFiles/bench_fig6_range_query.dir/bench_fig6_range_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

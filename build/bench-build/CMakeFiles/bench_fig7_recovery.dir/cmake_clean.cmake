@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_recovery"
+  "../bench/bench_fig7_recovery.pdb"
+  "CMakeFiles/bench_fig7_recovery.dir/bench_fig7_recovery.cpp.o"
+  "CMakeFiles/bench_fig7_recovery.dir/bench_fig7_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

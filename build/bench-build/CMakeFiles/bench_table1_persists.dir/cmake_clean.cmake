@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_persists"
+  "../bench/bench_table1_persists.pdb"
+  "CMakeFiles/bench_table1_persists.dir/bench_table1_persists.cpp.o"
+  "CMakeFiles/bench_table1_persists.dir/bench_table1_persists.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_persists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_analytics.dir/time_series_analytics.cpp.o"
+  "CMakeFiles/time_series_analytics.dir/time_series_analytics.cpp.o.d"
+  "time_series_analytics"
+  "time_series_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/rntree.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/thread_id.cpp" "src/CMakeFiles/rntree.dir/common/thread_id.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/common/thread_id.cpp.o.d"
+  "/root/repo/src/common/timing.cpp" "src/CMakeFiles/rntree.dir/common/timing.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/common/timing.cpp.o.d"
+  "/root/repo/src/epoch/ebr.cpp" "src/CMakeFiles/rntree.dir/epoch/ebr.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/epoch/ebr.cpp.o.d"
+  "/root/repo/src/htm/rtm.cpp" "src/CMakeFiles/rntree.dir/htm/rtm.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/htm/rtm.cpp.o.d"
+  "/root/repo/src/nvm/persist.cpp" "src/CMakeFiles/rntree.dir/nvm/persist.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/nvm/persist.cpp.o.d"
+  "/root/repo/src/nvm/pool.cpp" "src/CMakeFiles/rntree.dir/nvm/pool.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/nvm/pool.cpp.o.d"
+  "/root/repo/src/nvm/shadow.cpp" "src/CMakeFiles/rntree.dir/nvm/shadow.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/nvm/shadow.cpp.o.d"
+  "/root/repo/src/sim/models.cpp" "src/CMakeFiles/rntree.dir/sim/models.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/sim/models.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rntree.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/workload/zipfian.cpp" "src/CMakeFiles/rntree.dir/workload/zipfian.cpp.o" "gcc" "src/CMakeFiles/rntree.dir/workload/zipfian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

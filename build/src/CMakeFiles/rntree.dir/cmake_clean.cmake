@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rntree.dir/common/histogram.cpp.o"
+  "CMakeFiles/rntree.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/rntree.dir/common/thread_id.cpp.o"
+  "CMakeFiles/rntree.dir/common/thread_id.cpp.o.d"
+  "CMakeFiles/rntree.dir/common/timing.cpp.o"
+  "CMakeFiles/rntree.dir/common/timing.cpp.o.d"
+  "CMakeFiles/rntree.dir/epoch/ebr.cpp.o"
+  "CMakeFiles/rntree.dir/epoch/ebr.cpp.o.d"
+  "CMakeFiles/rntree.dir/htm/rtm.cpp.o"
+  "CMakeFiles/rntree.dir/htm/rtm.cpp.o.d"
+  "CMakeFiles/rntree.dir/nvm/persist.cpp.o"
+  "CMakeFiles/rntree.dir/nvm/persist.cpp.o.d"
+  "CMakeFiles/rntree.dir/nvm/pool.cpp.o"
+  "CMakeFiles/rntree.dir/nvm/pool.cpp.o.d"
+  "CMakeFiles/rntree.dir/nvm/shadow.cpp.o"
+  "CMakeFiles/rntree.dir/nvm/shadow.cpp.o.d"
+  "CMakeFiles/rntree.dir/sim/models.cpp.o"
+  "CMakeFiles/rntree.dir/sim/models.cpp.o.d"
+  "CMakeFiles/rntree.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rntree.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rntree.dir/workload/zipfian.cpp.o"
+  "CMakeFiles/rntree.dir/workload/zipfian.cpp.o.d"
+  "librntree.a"
+  "librntree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rntree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

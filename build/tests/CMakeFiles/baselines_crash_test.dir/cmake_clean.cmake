@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_crash_test.dir/baselines_crash_test.cpp.o"
+  "CMakeFiles/baselines_crash_test.dir/baselines_crash_test.cpp.o.d"
+  "baselines_crash_test"
+  "baselines_crash_test.pdb"
+  "baselines_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inner_tree_test.dir/inner_tree_test.cpp.o"
+  "CMakeFiles/inner_tree_test.dir/inner_tree_test.cpp.o.d"
+  "inner_tree_test"
+  "inner_tree_test.pdb"
+  "inner_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inner_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

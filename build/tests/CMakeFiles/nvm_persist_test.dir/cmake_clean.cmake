@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_persist_test.dir/nvm_persist_test.cpp.o"
+  "CMakeFiles/nvm_persist_test.dir/nvm_persist_test.cpp.o.d"
+  "nvm_persist_test"
+  "nvm_persist_test.pdb"
+  "nvm_persist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_shadow_test.dir/nvm_shadow_test.cpp.o"
+  "CMakeFiles/nvm_shadow_test.dir/nvm_shadow_test.cpp.o.d"
+  "nvm_shadow_test"
+  "nvm_shadow_test.pdb"
+  "nvm_shadow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_shadow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rntree_concurrent_test.dir/rntree_concurrent_test.cpp.o"
+  "CMakeFiles/rntree_concurrent_test.dir/rntree_concurrent_test.cpp.o.d"
+  "rntree_concurrent_test"
+  "rntree_concurrent_test.pdb"
+  "rntree_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rntree_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

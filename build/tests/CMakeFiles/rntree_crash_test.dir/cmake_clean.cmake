@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rntree_crash_test.dir/rntree_crash_test.cpp.o"
+  "CMakeFiles/rntree_crash_test.dir/rntree_crash_test.cpp.o.d"
+  "rntree_crash_test"
+  "rntree_crash_test.pdb"
+  "rntree_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rntree_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rntree_test.dir/rntree_test.cpp.o"
+  "CMakeFiles/rntree_test.dir/rntree_test.cpp.o.d"
+  "rntree_test"
+  "rntree_test.pdb"
+  "rntree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rntree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

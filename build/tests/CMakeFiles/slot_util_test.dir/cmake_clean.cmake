@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_util_test.dir/slot_util_test.cpp.o"
+  "CMakeFiles/slot_util_test.dir/slot_util_test.cpp.o.d"
+  "slot_util_test"
+  "slot_util_test.pdb"
+  "slot_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_persist_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_shadow_test[1]_include.cmake")
+include("/root/repo/build/tests/htm_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/inner_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/rntree_test[1]_include.cmake")
+include("/root/repo/build/tests/rntree_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/rntree_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/slot_util_test[1]_include.cmake")

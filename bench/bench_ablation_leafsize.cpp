@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
   print_note("7-entry leaves (wB+tree-SO) need ~9x the leaves and a deeper");
   print_note("inner tree; the same 2 persists/insert buy less because splits");
   print_note("are ~9x more frequent - the paper's argument for capacity 64");
+  export_stats(opt, "ablation_leafsize");
   return 0;
 }

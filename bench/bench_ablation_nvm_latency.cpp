@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   sweep(MakeFPTree{}, "FPTree");
   print_note("expected: slopes ~ persist counts (2/2/4/3); the 4-persist");
   print_note("wB+tree degrades fastest as the medium slows");
+  export_stats(opt, "ablation_nvm_latency");
   return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
   print_scalability(opt.hot_keys);
   std::printf("\n--- extreme contention (hot set = 500 keys) ---\n");
   print_scalability(500);
+  export_stats(opt, "ablation_overlap");
   return 0;
 }

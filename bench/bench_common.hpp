@@ -11,6 +11,15 @@
 //   --write-ns=N       NVM write latency to inject (default 140, the paper's
 //                      NVDIMM write latency; 0 = DRAM-speed)
 //   --seed=N           workload seed
+//   --stats-json=FILE  after the run, write the obs registry snapshot
+//                      (persist/HTM/epoch/pool/structural counters) as JSON
+//                      to FILE ("-" = stdout); see src/obs/export.hpp for
+//                      the document shape
+//   --trace=N          keep a per-thread flight-recorder ring of the last N
+//                      operations; included under "trace" in the JSON dump
+//
+// Unknown flags are rejected with a usage message (exit 2) so typos cannot
+// silently run a bench with default parameters.
 #pragma once
 
 #include <cstdarg>
@@ -26,6 +35,8 @@
 #include "common/timing.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace rnt::bench {
 
@@ -43,6 +54,22 @@ struct BenchOptions {
   std::uint32_t per_line_ns = 2;
   std::uint64_t seed = 42;
   bool paper = false;
+  std::string stats_json;        ///< --stats-json=FILE ("" = no export)
+  std::uint64_t trace_events = 0;  ///< --trace=N per-thread ring capacity
+
+  static void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [flags]\n"
+                 "  --paper            paper-scale parameters\n"
+                 "  --warm=N           warm-up key count\n"
+                 "  --hot-keys=N       request-distribution key space\n"
+                 "  --seconds=S        measure duration per op\n"
+                 "  --write-ns=N       injected NVM write latency (ns)\n"
+                 "  --seed=N           workload seed\n"
+                 "  --stats-json=FILE  write metrics snapshot as JSON (\"-\" = stdout)\n"
+                 "  --trace=N          per-thread flight-recorder ring of N events\n",
+                 argv0);
+  }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -66,12 +93,20 @@ struct BenchOptions {
         o.write_ns = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
       } else if (const char* v = val("--seed=")) {
         o.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--stats-json=")) {
+        o.stats_json = v;
+      } else if (const char* v = val("--trace=")) {
+        o.trace_events = std::strtoull(v, nullptr, 10);
       } else if (a == "--help" || a == "-h") {
-        std::printf(
-            "flags: --paper --warm=N --hot-keys=N --seconds=S --write-ns=N --seed=N\n");
+        usage(argv[0]);
         std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
+        usage(argv[0]);
+        std::exit(2);
       }
     }
+    if (o.trace_events != 0) obs::set_trace_capacity(o.trace_events);
     return o;
   }
 
@@ -87,6 +122,23 @@ struct BenchOptions {
     return std::max<std::size_t>(bytes, std::size_t{64} << 20);
   }
 };
+
+/// Honour --stats-json: write the registry snapshot (plus the trace rings
+/// when --trace is on) tagged with the bench's parameters.  Every bench main
+/// calls this once on its way out.
+inline void export_stats(const BenchOptions& o, const std::string& bench_name) {
+  if (o.stats_json.empty()) return;
+  const std::vector<obs::MetaField> meta = {
+      {"bench", bench_name, false},
+      {"warm", std::to_string(o.warm), true},
+      {"hot_keys", std::to_string(o.hot_keys), true},
+      {"seconds", std::to_string(o.seconds), true},
+      {"write_ns", std::to_string(o.write_ns), true},
+      {"seed", std::to_string(o.seed), true},
+      {"paper", o.paper ? "true" : "false", true},
+  };
+  obs::write_json_snapshot(o.stats_json, meta, o.trace_events != 0);
+}
 
 /// Bijective key scrambler: warm keys are mix64(0..warm-1); fresh insert
 /// keys continue at mix64(warm + j).  Distinct, uniformly spread.

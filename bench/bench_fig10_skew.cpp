@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
   print_note("RNTree/FPTree at theta=0.99: %.2fx (paper: up to 2.3x)",
              rows[0][last] / rows[2][last]);
   print_note("paper shape: FPTree drops sharply past 0.7; RNTree insensitive");
+  export_stats(opt, "fig10_skew");
   return 0;
 }

@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
              rnt::nvm::config().write_latency_ns);
   print_note("paper shape: RNTree best-or-tied on find/insert/update; FPTree");
   print_note("wins remove (1 persist); RNTree 25%%-44%% faster on mixed");
+  export_stats(opt, "fig4_single_thread");
   return 0;
 }

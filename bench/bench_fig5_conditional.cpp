@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
   print_row("NVTree", {nv_basic, nv_cond, (nv_basic - nv_cond) / nv_basic * 100});
   print_row("RNTree", {rn_basic, rn_cond, (rn_basic - rn_cond) / rn_basic * 100});
   print_note("paper shape: ~19%% slowdown for NVTree, ~0%% for RNTree");
+  export_stats(opt, "fig5_conditional");
   return 0;
 }

@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
                speedup_nv, speedup_fp);
   }
   print_note("paper shape: RNTree ~4.2x over NVTree/FPTree (they sort leaves)");
+  export_stats(opt, "fig6_range_query");
   return 0;
 }

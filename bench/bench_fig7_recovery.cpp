@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
                crash_ms / reconstruct_ms});
   }
   print_note("paper shape: both linear in size; crash recovery ~1.6x slower");
+  export_stats(opt, "fig7_recovery");
   return 0;
 }

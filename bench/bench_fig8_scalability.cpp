@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
       "Figure 8(c): skewed read-intensive (90/10) - throughput (Mops/s)",
       0.8, 10, keys, horizon);
   print_note("paper shape: RNTree+DS near-linear; RNTree better than FPTree");
+  export_stats(opt, "fig8_scalability");
   return 0;
 }

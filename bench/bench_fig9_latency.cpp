@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
   }
   print_note("paper shape: FPTree read ~15us / update ~5us at high load;");
   print_note("RNTree read high (~6us) but update <2us; RNTree+DS read <1us");
+  export_stats(opt, "fig9_latency");
   return 0;
 }

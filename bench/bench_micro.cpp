@@ -7,7 +7,11 @@
 // src/sim) and make the injected-latency model auditable.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/rntree.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "core/slot_util.hpp"
 #include "htm/rtm.hpp"
 #include "htm/seqlock.hpp"
@@ -143,4 +147,30 @@ BENCHMARK(BM_RNTreeUpsert_140ns);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the repo-wide
+// --stats-json=FILE / --trace=N flags (google-benchmark rejects flags it
+// does not know) before handing the rest to the library.
+int main(int argc, char** argv) {
+  std::string stats_json;
+  bool tracing = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--stats-json=", 0) == 0) {
+      stats_json = a.substr(13);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      rnt::obs::set_trace_capacity(std::strtoull(a.c_str() + 8, nullptr, 10));
+      tracing = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!stats_json.empty())
+    rnt::obs::write_json_snapshot(stats_json, {{"bench", "micro", false}}, tracing);
+  return 0;
+}

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
   print_note("every shifted entry is flushed, ~L/2 per modify on average).");
   print_note("Values sit slightly above the per-op count because split/");
   print_note("compaction persists amortise into the average.");
+  export_stats(opt, "table1_persists");
   return 0;
 }

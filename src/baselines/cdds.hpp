@@ -223,7 +223,7 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
 
     if (live < Leaf::kCap / 2) {
       // GC compaction: drop dead versions in place.
-      this->stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+      this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       src = reinterpret_cast<const Leaf*>(undo.data);
       compact_into(leaf, src, 0, Leaf::kCap, nullptr);
@@ -234,7 +234,7 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
       return leaf;
     }
 
-    this->stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    this->stats_.count_split();
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
     if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);

@@ -140,7 +140,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       Leaf* leaf = this->inner_.find_leaf(k);
       const std::uint64_t v = leaf->vlock.raw();
       if (htm::VersionLock::locked(v) || htm::VersionLock::splitting(v)) {
-        this->stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+        this->stats_.count_find_retry();
         cpu_relax();
         continue;  // abort the "transaction", retraverse from the root
       }
@@ -150,7 +150,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       std::optional<Value> res;
       if (slot >= 0) res = leaf->logs[slot].value;
       if (leaf->vlock.raw() != v) {
-        this->stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+        this->stats_.count_find_retry();
         continue;  // a writer intervened: retry from the root
       }
       return res;
@@ -277,7 +277,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
     if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
-    this->stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    this->stats_.count_split();
 
     Leaf* nl = this->pool_.template ptr<Leaf>(new_off);
     nl->init();

@@ -243,7 +243,7 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
 
     if (live.size() < Leaf::kLogCap / 2) {
       // Compaction: rewrite the log area with only live inserts.
-      this->stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+      this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       rewrite(leaf, live, 0, live.size());
       nvm::persist(leaf, sizeof(Leaf));
@@ -253,7 +253,7 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
       return beyond(leaf, k) ? locate(k) : leaf;
     }
 
-    this->stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    this->stats_.count_split();
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
     if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);

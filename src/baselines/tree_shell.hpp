@@ -22,13 +22,43 @@
 #include "epoch/ebr.hpp"
 #include "inner/inner_tree.hpp"
 #include "nvm/pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace rnt::baselines {
+
+namespace detail {
+
+// Process-wide structural counters shared by every baseline instantiation;
+// each ShellStats keeps its own per-instance atomics and mirrors here.
+struct ShellCounters {
+  obs::Counter splits{"shell.splits"};
+  obs::Counter compactions{"shell.compactions"};
+  obs::Counter find_retries{"shell.find_retries"};
+};
+
+inline const ShellCounters& shell_counters() {
+  static ShellCounters c;
+  return c;
+}
+
+}  // namespace detail
 
 struct ShellStats {
   std::atomic<std::uint64_t> splits{0};
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> find_retries{0};
+  void count_split() noexcept {
+    splits.fetch_add(1, std::memory_order_relaxed);
+    detail::shell_counters().splits.inc();
+  }
+  void count_compaction() noexcept {
+    compactions.fetch_add(1, std::memory_order_relaxed);
+    detail::shell_counters().compactions.inc();
+  }
+  void count_find_retry() noexcept {
+    find_retries.fetch_add(1, std::memory_order_relaxed);
+    detail::shell_counters().find_retries.inc();
+  }
   void reset() noexcept {
     splits = 0;
     compactions = 0;

@@ -236,7 +236,7 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     leaf->vlock.set_split();
 
     if (live < static_cast<int>(core::kSlotCap) / 2) {
-      this->stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+      this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
       compact_into(leaf, src, 0, live);
@@ -247,7 +247,7 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
       return leaf;
     }
 
-    this->stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    this->stats_.count_split();
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
     if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);
@@ -478,7 +478,7 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
 
   /// Splits are frequent with 7-entry leaves — the paper's point.
   Leaf* split(Leaf* leaf, Key k) {
-    this->stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    this->stats_.count_split();
     nvm::UndoSlot& undo = my_undo();
     leaf->vlock.lock();
     leaf->vlock.set_split();

@@ -6,13 +6,22 @@ namespace rnt {
 
 std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
   if (total_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
+  // Boundary quantiles are exact: the recorded extrema, not bucket bounds.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
   std::uint64_t acc = 0;
   for (int i = 0; i < kBuckets; ++i) {
     acc += counts_[i];
-    if (acc > target || (acc == total_ && acc >= target)) return bucket_upper(i);
+    if (acc > target || (acc == total_ && acc >= target)) {
+      // A bucket's upper bound can overshoot the true extrema (a single
+      // sample of 1000 ns sits in a bucket whose upper bound is 1023 ns);
+      // clamp into the observed [min, max] range.
+      std::uint64_t v = bucket_upper(i);
+      if (v > max_) v = max_;
+      if (v < min_) v = min_;
+      return v;
+    }
   }
   return max_;
 }

@@ -43,16 +43,59 @@
 #include "epoch/ebr.hpp"
 #include "inner/inner_tree.hpp"
 #include "nvm/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/op_trace.hpp"
 
 namespace rnt::core {
 
+namespace detail {
+
+// Process-wide structural counters mirrored by every RNTree instance (the
+// registry view of TreeStats; thread-sharded, so mirroring costs a couple
+// of nanoseconds on the already-rare split/retry paths).
+struct TreeCounters {
+  obs::Counter leaf_splits{"tree.leaf_splits"};
+  obs::Counter shrink_splits{"tree.shrink_splits"};
+  obs::Counter smo{"tree.smo"};  ///< all structure modifications
+  obs::Counter find_retries{"tree.find_retries"};
+  obs::Counter modify_restarts{"tree.modify_restarts"};
+};
+
+inline const TreeCounters& tree_counters() {
+  static TreeCounters c;
+  return c;
+}
+
+}  // namespace detail
+
 /// Per-tree operation statistics (relaxed counters; approximate under
-/// concurrency, exact single-threaded).
+/// concurrency, exact single-threaded).  The count_* helpers also mirror
+/// into the process-wide obs registry (tree.* counters) so every increment
+/// shows up in `--stats-json` exports.
 struct TreeStats {
   std::atomic<std::uint64_t> splits{0};
   std::atomic<std::uint64_t> shrink_splits{0};
   std::atomic<std::uint64_t> find_retries{0};
   std::atomic<std::uint64_t> modify_restarts{0};
+
+  void count_split() noexcept {
+    splits.fetch_add(1, std::memory_order_relaxed);
+    detail::tree_counters().leaf_splits.inc();
+    detail::tree_counters().smo.inc();
+  }
+  void count_shrink_split() noexcept {
+    shrink_splits.fetch_add(1, std::memory_order_relaxed);
+    detail::tree_counters().shrink_splits.inc();
+    detail::tree_counters().smo.inc();
+  }
+  void count_find_retry() noexcept {
+    find_retries.fetch_add(1, std::memory_order_relaxed);
+    detail::tree_counters().find_retries.inc();
+  }
+  void count_modify_restart() noexcept {
+    modify_restarts.fetch_add(1, std::memory_order_relaxed);
+    detail::tree_counters().modify_restarts.inc();
+  }
 
   void reset() noexcept {
     splits = 0;
@@ -130,6 +173,7 @@ class RNTree {
   /// Remove; returns false if the key was absent.  A single persistent
   /// instruction (the slot-array flush) — no log entry is consumed.
   bool remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     for (;;) {
       epoch::Guard g = epochs_.pin();
       Leaf* leaf = inner_.find_leaf(k);
@@ -138,26 +182,28 @@ class RNTree {
       leaf->vlock.lock();
       if (!covers(leaf, k)) {
         leaf->vlock.unlock();
-        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_modify_restart();
         continue;
       }
+      tr.leaf(pool_.off(leaf));
       alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
       std::memcpy(snew, leaf->pslot, kCacheLineSize);
       const int pos = slot_lower_bound(snew, leaf->logs, k);
       if (!slot_match(snew, leaf->logs, pos, k)) {
         leaf->vlock.unlock();
-        return false;
+        return tr.finish(false);
       }
       slot_remove_at(snew, pos);
       publish_slot(leaf, snew);
       size_.fetch_sub(1, std::memory_order_relaxed);
       leaf->vlock.unlock();
-      return true;
+      return tr.finish(true);
     }
   }
 
   /// Point lookup (Alg 4).
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = epochs_.pin();
     for (;;) {
       Leaf* leaf = inner_.find_leaf(k);
@@ -175,7 +221,7 @@ class RNTree {
         }
         alignas(kCacheLineSize) std::uint8_t snap[kCacheLineSize];
         if (!snapshot_slot(leaf, snap)) {
-          stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+          stats_.count_find_retry();
           continue;
         }
         const int pos = slot_lower_bound(snap, leaf->logs, k);
@@ -183,9 +229,11 @@ class RNTree {
         if (slot_match(snap, leaf->logs, pos, k))
           res = leaf->logs[snap[1 + pos]].value;
         if (leaf->vlock.stable_version() != v) {
-          stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+          stats_.count_find_retry();
           continue;  // split raced; snapshot may index rewritten logs
         }
+        tr.leaf(pool_.off(leaf));
+        tr.finish(res.has_value());
         return res;
       }
     }
@@ -197,6 +245,8 @@ class RNTree {
   /// next chain exactly as the paper describes.
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
+    tr.finish(true);
     epoch::Guard g = epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = inner_.find_leaf(start);
@@ -370,6 +420,10 @@ class RNTree {
   };
 
   bool modify(Key k, Value v, Mode mode) {
+    obs::OpTrace tr(mode == Mode::kInsert   ? obs::OpKind::kInsert
+                    : mode == Mode::kUpdate ? obs::OpKind::kUpdate
+                                            : obs::OpKind::kUpsert,
+                    k);
     for (;;) {
       epoch::Guard g = epochs_.pin();
       Leaf* leaf = inner_.find_leaf(k);
@@ -384,7 +438,7 @@ class RNTree {
       WriterRef wref{leaf};
       if (htm::VersionLock::splitting(leaf->vlock.raw())) {
         wref.release();
-        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_modify_restart();
         continue;
       }
 
@@ -393,7 +447,7 @@ class RNTree {
       if (e == kNoEntry) {
         wref.release();
         force_split(leaf);
-        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_modify_restart();
         continue;
       }
       // Step 2 (no coordination): write the KV.
@@ -404,6 +458,7 @@ class RNTree {
       wref.release();
 
       // Step 4 (concurrency): take the leaf lock, make the entry reachable.
+      tr.leaf(pool_.off(leaf));
       leaf->vlock.lock();
       if ((leaf->vlock.raw() & htm::VersionLock::kVersionMask) !=
               (ver & htm::VersionLock::kVersionMask) ||
@@ -411,7 +466,7 @@ class RNTree {
         // A split raced us: our log entry may have been compacted over.
         // Abandon it (the slot array never pointed at it) and retry.
         leaf->vlock.unlock();
-        stats_.modify_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_modify_restart();
         continue;
       }
 
@@ -428,7 +483,7 @@ class RNTree {
         const bool full = leaf->plogs >= Leaf::kLogCap - 1;
         if (full) split_locked(leaf);
         leaf->vlock.unlock();
-        return false;
+        return tr.finish(false);
       }
       if (exists)
         snew[1 + pos] = static_cast<std::uint8_t>(e);  // update: re-point slot
@@ -440,7 +495,7 @@ class RNTree {
       if (leaf->plogs >= Leaf::kLogCap - 1 || snew[0] >= kSlotCap)
         split_locked(leaf);
       leaf->vlock.unlock();
-      return true;
+      return tr.finish(true);
     }
   }
 
@@ -460,7 +515,7 @@ class RNTree {
       compact_locked(leaf);
       return;
     }
-    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    stats_.count_split();
     leaf->vlock.set_split();
     quiesce_writers(leaf);
 
@@ -525,7 +580,7 @@ class RNTree {
 
   /// Shrink-split: obsolete log entries dominate; compact in place.
   void compact_locked(Leaf* leaf) {
-    stats_.shrink_splits.fetch_add(1, std::memory_order_relaxed);
+    stats_.count_shrink_split();
     leaf->vlock.set_split();
     quiesce_writers(leaf);
     nvm::UndoSlot& undo = pool_.undo_slot(pmem_thread_id());

@@ -3,7 +3,27 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace rnt::epoch {
+
+namespace {
+
+// Reclamation telemetry (process-wide across every EpochManager instance;
+// thread-sharded increments, so the pin hot path pays ~2 ns).
+struct EpochCounters {
+  obs::Counter pins{"epoch.pins"};
+  obs::Counter retires{"epoch.retires"};
+  obs::Counter collects{"epoch.collects"};
+  obs::Counter freed{"epoch.freed"};
+};
+
+const EpochCounters& counters() {
+  static EpochCounters c;
+  return c;
+}
+
+}  // namespace
 
 EpochManager::~EpochManager() {
   // All guards must be gone; free everything unconditionally.
@@ -14,6 +34,7 @@ EpochManager::~EpochManager() {
 }
 
 Guard EpochManager::pin() noexcept {
+  counters().pins.inc();
   std::uint64_t e = global_.load(std::memory_order_seq_cst);
   // Hash the thread id for a starting slot, then linear-probe for a free one.
   const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
@@ -58,6 +79,7 @@ std::uint64_t EpochManager::min_active_epoch() const noexcept {
 }
 
 void EpochManager::retire(std::function<void()> deleter) {
+  counters().retires.inc();
   const std::uint64_t e = global_.load(std::memory_order_acquire);
   bool do_collect = false;
   {
@@ -69,6 +91,7 @@ void EpochManager::retire(std::function<void()> deleter) {
 }
 
 void EpochManager::collect() {
+  counters().collects.inc();
   global_.fetch_add(1, std::memory_order_seq_cst);
   const std::uint64_t safe = min_active_epoch();
   std::vector<Retired> to_free;
@@ -86,6 +109,7 @@ void EpochManager::collect() {
     limbo_.erase(keep, limbo_.end());
   }
   for (Retired& r : to_free) r.deleter();
+  counters().freed.inc(to_free.size());
 }
 
 std::size_t EpochManager::limbo_size() {

@@ -21,7 +21,10 @@
 
 namespace rnt::htm {
 
-/// Per-thread transaction statistics.
+/// Per-thread transaction statistics.  Registry-backed: each thread's
+/// fields are attached to the obs metrics registry (htm.* counters), which
+/// owns aggregation and exited-thread folding; increments stay plain
+/// thread-local stores.
 struct HtmStats {
   std::uint64_t attempts = 0;
   std::uint64_t commits = 0;
@@ -29,10 +32,14 @@ struct HtmStats {
   std::uint64_t aborts_capacity = 0;
   std::uint64_t aborts_other = 0;
   std::uint64_t fallbacks = 0;
+  std::uint64_t lock_acquisitions = 0;  ///< fallback-lock critical sections
   void reset() noexcept { *this = {}; }
 };
 
 HtmStats& tls_htm_stats() noexcept;
+
+/// Sum over all threads that ever recorded, including exited ones.
+HtmStats aggregate_htm_stats();
 
 /// True when this CPU executes RTM transactions (CPUID leaf 7 EBX bit 11).
 bool rtm_supported() noexcept;
@@ -83,6 +90,7 @@ void atomic_exec(SpinLock& fallback, Fn&& fn, int max_retries = 10) {
   }
 #endif
   SpinGuard g(fallback);
+  ++st.lock_acquisitions;
   nvm::htm_tx_begin();
   std::forward<Fn>(fn)();
   nvm::htm_tx_commit();

@@ -28,8 +28,26 @@
 #include <vector>
 
 #include "epoch/ebr.hpp"
+#include "obs/metrics.hpp"
 
 namespace rnt::inner {
+
+namespace detail {
+
+// Structure-modification telemetry shared by every InnerTree instantiation
+// (all key/leaf types funnel into the same process-wide counters).
+struct InnerCounters {
+  obs::Counter updates{"inner.updates"};    ///< insert_split (htmTreeUpdate) calls
+  obs::Counter rebuilds{"inner.rebuilds"};  ///< bulk_load (recovery) calls
+  obs::Counter retired{"inner.retired_nodes"};
+};
+
+inline const InnerCounters& counters() {
+  static InnerCounters c;
+  return c;
+}
+
+}  // namespace detail
 
 template <typename Key, typename Leaf>
 class InnerTree {
@@ -67,6 +85,7 @@ class InnerTree {
   /// the paper's htmTreeUpdate after a leaf split.  @p sep is the split key
   /// (minimum key of new_leaf's range).
   void insert_split(Key sep, Leaf* old_leaf, Leaf* new_leaf) {
+    detail::counters().updates.inc();
     std::lock_guard lk(mu_);
     Node* old_root = root_.load(std::memory_order_relaxed);
     InsertResult r = insert_rec(old_root, sep, old_leaf, new_leaf);
@@ -89,6 +108,7 @@ class InnerTree {
                  const std::vector<Key>& separators) {
     assert(!leaves.empty());
     assert(separators.size() + 1 == leaves.size());
+    detail::counters().rebuilds.inc();
     std::lock_guard lk(mu_);
     Node* old_root = root_.exchange(nullptr, std::memory_order_relaxed);
     free_subtree(old_root);
@@ -214,6 +234,7 @@ class InnerTree {
   }
 
   void retire_node(Node* n) {
+    detail::counters().retired.inc();
     epochs_.retire([n] { delete n; });
   }
 

@@ -1,10 +1,8 @@
 #include "nvm/persist.hpp"
 
-#include <mutex>
-#include <vector>
-
 #include "common/timing.hpp"
 #include "nvm/shadow.hpp"
+#include "obs/metrics.hpp"
 
 namespace rnt::nvm {
 
@@ -15,25 +13,38 @@ NvmConfig& config() noexcept {
 
 namespace {
 
-// Aggregate-stat registry: live threads are summed on demand; counters of
-// exited threads are folded into `retired`.
-std::mutex g_reg_mu;
-std::vector<const PersistStats*> g_live;
-PersistStats g_retired;
+// The persist counters are registry-backed: the hot path still increments a
+// plain thread-local struct (zero added cost over the old per-module
+// registry), but each field is attached to the obs metrics registry as an
+// external shard, so aggregation, exited-thread folding, reset, and export
+// all live in one place (src/obs).
+struct PersistMetricIds {
+  obs::MetricId clwb = obs::register_metric("nvm.clwb", obs::Kind::kCounter);
+  obs::MetricId fence = obs::register_metric("nvm.fence", obs::Kind::kCounter);
+  obs::MetricId persist = obs::register_metric("nvm.persist", obs::Kind::kCounter);
+  obs::MetricId lines = obs::register_metric("nvm.lines", obs::Kind::kCounter);
+};
+
+const PersistMetricIds& metric_ids() {
+  static PersistMetricIds ids;
+  return ids;
+}
 
 struct TlsEntry {
   PersistStats stats;
   TlsEntry() {
-    std::lock_guard lk(g_reg_mu);
-    g_live.push_back(&stats);
+    const PersistMetricIds& ids = metric_ids();
+    obs::attach_cell(ids.clwb, &stats.clwb);
+    obs::attach_cell(ids.fence, &stats.fence);
+    obs::attach_cell(ids.persist, &stats.persist);
+    obs::attach_cell(ids.lines, &stats.lines);
   }
   ~TlsEntry() {
-    std::lock_guard lk(g_reg_mu);
-    g_retired.clwb += stats.clwb;
-    g_retired.fence += stats.fence;
-    g_retired.persist += stats.persist;
-    g_retired.lines += stats.lines;
-    std::erase(g_live, &stats);
+    const PersistMetricIds& ids = metric_ids();
+    obs::detach_cell(ids.clwb, &stats.clwb);
+    obs::detach_cell(ids.fence, &stats.fence);
+    obs::detach_cell(ids.persist, &stats.persist);
+    obs::detach_cell(ids.lines, &stats.lines);
   }
 };
 
@@ -47,22 +58,21 @@ TlsEntry& tls_entry() noexcept {
 PersistStats& tls_stats() noexcept { return tls_entry().stats; }
 
 PersistStats aggregate_stats() {
-  std::lock_guard lk(g_reg_mu);
-  PersistStats out = g_retired;
-  for (const PersistStats* s : g_live) {
-    out.clwb += s->clwb;
-    out.fence += s->fence;
-    out.persist += s->persist;
-    out.lines += s->lines;
-  }
+  const PersistMetricIds& ids = metric_ids();
+  PersistStats out;
+  out.clwb = obs::counter_value(ids.clwb);
+  out.fence = obs::counter_value(ids.fence);
+  out.persist = obs::counter_value(ids.persist);
+  out.lines = obs::counter_value(ids.lines);
   return out;
 }
 
 void reset_aggregate_stats() {
-  std::lock_guard lk(g_reg_mu);
-  g_retired = {};
-  for (const PersistStats* s : g_live)
-    *const_cast<PersistStats*>(s) = {};  // benign: callers quiesce workers first
+  const PersistMetricIds& ids = metric_ids();
+  obs::reset_counter(ids.clwb);
+  obs::reset_counter(ids.fence);
+  obs::reset_counter(ids.persist);
+  obs::reset_counter(ids.lines);
 }
 
 namespace detail {

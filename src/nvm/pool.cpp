@@ -8,9 +8,29 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rnt::nvm {
 
 namespace {
+
+// Allocator telemetry (process-wide across pools; alloc already serialises
+// on alloc_mu_, so counter cost is immaterial).  pool.bytes_used tracks the
+// bump pointer of whichever pool allocated last — benches run one pool at a
+// time, which is the case this gauge serves.
+struct PoolCounters {
+  obs::Counter allocs{"pool.allocs"};
+  obs::Counter alloc_bytes{"pool.alloc_bytes"};
+  obs::Counter frees{"pool.frees"};
+  obs::Counter freelist_hits{"pool.freelist_hits"};
+  obs::Counter exhausted{"pool.exhausted"};
+  obs::Gauge bytes_used{"pool.bytes_used"};
+};
+
+const PoolCounters& counters() {
+  static PoolCounters c;
+  return c;
+}
 
 char* map_file(int fd, std::size_t size) {
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
@@ -88,15 +108,22 @@ void PmemPool::reopen_volatile() {
 std::uint64_t PmemPool::alloc(std::size_t size) {
   const std::size_t sz = align_up(size, kCacheLineSize);
   std::lock_guard lk(alloc_mu_);
+  counters().allocs.inc();
+  counters().alloc_bytes.inc(sz);
   auto it = free_lists_.find(sz);
   if (it != free_lists_.end() && !it->second.empty()) {
     const std::uint64_t off = it->second.back();
     it->second.pop_back();
+    counters().freelist_hits.inc();
     return off;
   }
   const std::uint64_t off = bump_.load(std::memory_order_relaxed);
-  if (off + sz > size_) return 0;
+  if (off + sz > size_) {
+    counters().exhausted.inc();
+    return 0;
+  }
   bump_.store(off + sz, std::memory_order_relaxed);
+  counters().bytes_used.set(static_cast<std::int64_t>(off + sz));
   Header* h = header();
   if (off + sz > h->used) {
     // Persist a chunk-rounded high-water mark; a crash can leak at most the
@@ -113,6 +140,7 @@ void PmemPool::free(std::uint64_t offset, std::size_t size) {
   if (offset == 0) return;
   const std::size_t sz = align_up(size, kCacheLineSize);
   std::lock_guard lk(alloc_mu_);
+  counters().frees.inc();
   free_lists_[sz].push_back(offset);
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace rnt::nvm {
 
@@ -34,6 +35,14 @@ void ShadowPool::track_event() {
   if (crash_at_event_ != 0 && events_ >= crash_at_event_) {
     crashed_ = true;
     crash_at_event_ = 0;
+    // Post-mortem: with tracing on, show what every thread was doing when
+    // the injected crash fired (the in-flight op lands once its OpTrace
+    // unwinds and records itself with result=crash).
+    if (obs::trace_enabled()) {
+      std::fprintf(stderr, "ShadowPool: injected crash at event %llu\n",
+                   static_cast<unsigned long long>(events_));
+      obs::dump_traces(stderr);
+    }
     throw CrashPoint{};
   }
 }

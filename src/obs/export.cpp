@@ -1,0 +1,160 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "obs/trace.hpp"
+
+namespace rnt::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "rnt_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta,
+                    bool include_trace) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"meta\": {";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, meta[i].key);
+    out += ": ";
+    if (meta[i].is_number)
+      out += meta[i].value.empty() ? "0" : meta[i].value;
+    else
+      append_escaped(out, meta[i].value);
+  }
+  out += "\n  },\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, snap.counters[i].first);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ": %" PRIu64, snap.counters[i].second);
+    out += buf;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, snap.gauges[i].first);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ": %" PRId64, snap.gauges[i].second);
+    out += buf;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, snap.histograms[i].first);
+    const HistogramSummary& h = snap.histograms[i].second;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ": {\"count\": %" PRIu64 ", \"min\": %" PRIu64
+                  ", \"max\": %" PRIu64 ", \"mean\": ",
+                  h.count, h.min, h.max);
+    out += buf;
+    append_number(out, h.mean);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64 ", \"p99\": %" PRIu64
+                  ", \"p999\": %" PRIu64 "}",
+                  h.p50, h.p90, h.p99, h.p999);
+    out += buf;
+  }
+  out += "\n  }";
+  if (include_trace && trace_enabled()) {
+    out += ",\n  \"trace\": ";
+    traces_json(out);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  char buf[256];
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = prom_name(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                  p.c_str(), p.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = prom_name(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  p.c_str(), p.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = prom_name(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s summary\n", p.c_str());
+    out += buf;
+    const std::pair<const char*, std::uint64_t> qs[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}, {"0.999", h.p999}};
+    for (const auto& [q, v] : qs) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %" PRIu64 "\n",
+                    p.c_str(), q, v);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s_count %" PRIu64 "\n%s_sum %.0f\n", p.c_str(), h.count,
+                  p.c_str(), h.mean * static_cast<double>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+bool write_json_snapshot(const std::string& path,
+                         const std::vector<MetaField>& meta, bool include_trace) {
+  const std::string doc = to_json(snapshot(), meta, include_trace);
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rnt::obs

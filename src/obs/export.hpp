@@ -1,0 +1,51 @@
+// Structured export of registry snapshots: JSON (machine-readable bench
+// output, consumed by --stats-json=FILE) and Prometheus text exposition
+// (scrape-ready `# TYPE` + sample lines).
+//
+// The JSON document shape:
+//
+//   {
+//     "meta":       { ...caller-supplied string/number fields... },
+//     "counters":   { "nvm.persist": 123, ... },
+//     "gauges":     { "nvm.write_latency_ns": 140, ... },
+//     "histograms": { "name": {"count":..,"min":..,"max":..,"mean":..,
+//                              "p50":..,"p90":..,"p99":..,"p999":..}, ... },
+//     "trace":      [ {...TraceEvent...}, ... ]        // only when tracing
+//   }
+//
+// Keys are sorted, values are plain integers/doubles, strings are escaped —
+// the output parses with any JSON library (CI runs it through
+// `python3 -m json.tool`).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rnt::obs {
+
+/// Caller-supplied metadata emitted under "meta" (numbers pass through
+/// unquoted when is_number is true).
+struct MetaField {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+/// Serialise @p snap as a JSON document.  Includes the trace rings' contents
+/// when @p include_trace is set and tracing is enabled.
+std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta = {},
+                    bool include_trace = false);
+
+/// Prometheus text exposition format ('.' in metric names becomes '_').
+std::string to_prometheus(const Snapshot& snap);
+
+/// snapshot() + to_json() written to @p path ("-" = stdout).  Returns false
+/// (with a message on stderr) if the file cannot be written.
+bool write_json_snapshot(const std::string& path,
+                         const std::vector<MetaField>& meta = {},
+                         bool include_trace = false);
+
+}  // namespace rnt::obs

@@ -1,0 +1,77 @@
+// OpTrace — RAII per-operation flight recorder.
+//
+// Construct at the top of a tree operation; on destruction it records one
+// TraceEvent carrying the op's latency, the persistent instructions and HTM
+// attempts it executed (diffed from the thread-local module counters), the
+// key, and the leaf/result the op reported.  When tracing is disabled the
+// constructor is one relaxed load + branch and the destructor is one branch.
+//
+// An operation aborted by an exception (e.g. an injected nvm::CrashPoint)
+// still records, with result kCrash — that trailing event is exactly what a
+// post-mortem wants to see.
+#pragma once
+
+#include <exception>
+
+#include "common/timing.hpp"
+#include "htm/rtm.hpp"
+#include "nvm/persist.hpp"
+#include "obs/trace.hpp"
+
+namespace rnt::obs {
+
+class OpTrace {
+ public:
+  OpTrace(OpKind op, std::uint64_t key) noexcept {
+    if (!trace_enabled()) return;
+    armed_ = true;
+    op_ = op;
+    key_ = key;
+    t0_ = now_ns();
+    persists0_ = nvm::tls_stats().persist;
+    htm0_ = htm::tls_htm_stats().attempts;
+  }
+
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+  /// Pool offset of the leaf the op landed on.
+  void leaf(std::uint64_t off) noexcept { leaf_off_ = off; }
+
+  /// Outcome: true -> kOk, false -> kMiss.  Returns @p ok so call sites can
+  /// write `return tr.finish(did_succeed);`.
+  bool finish(bool ok) noexcept {
+    result_ = ok ? OpResult::kOk : OpResult::kMiss;
+    return ok;
+  }
+  void set_result(OpResult r) noexcept { result_ = r; }
+
+  ~OpTrace() {
+    if (!armed_) return;
+    if (result_ == OpResult::kUnknown && std::uncaught_exceptions() > 0)
+      result_ = OpResult::kCrash;
+    TraceEvent ev{};
+    ev.ts_ns = now_ns();
+    ev.key = key_;
+    ev.leaf_off = leaf_off_;
+    ev.latency_ns = ev.ts_ns - t0_;
+    ev.htm_attempts =
+        static_cast<std::uint32_t>(htm::tls_htm_stats().attempts - htm0_);
+    ev.persists = static_cast<std::uint32_t>(nvm::tls_stats().persist - persists0_);
+    ev.op = static_cast<std::uint16_t>(op_);
+    ev.result = static_cast<std::uint16_t>(result_);
+    trace(ev);
+  }
+
+ private:
+  bool armed_ = false;
+  OpKind op_ = OpKind::kOther;
+  OpResult result_ = OpResult::kUnknown;
+  std::uint64_t key_ = 0;
+  std::uint64_t leaf_off_ = 0;
+  std::uint64_t t0_ = 0;
+  std::uint64_t persists0_ = 0;
+  std::uint64_t htm0_ = 0;
+};
+
+}  // namespace rnt::obs

@@ -145,5 +145,45 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(Histogram, EmptyBoundaryQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+  EXPECT_EQ(h.percentile(-3.0), 0u);
+  EXPECT_EQ(h.percentile(7.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, BoundaryQuantilesAreExactExtrema) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(300);
+  h.record(77777);
+  // p0/p100 must be the recorded extrema, not log-bucket upper bounds.
+  EXPECT_EQ(h.percentile(0.0), 300u);
+  EXPECT_EQ(h.percentile(1.0), 77777u);
+  // Out-of-range quantiles clamp to the same extrema.
+  EXPECT_EQ(h.percentile(-0.5), 300u);
+  EXPECT_EQ(h.percentile(1.5), 77777u);
+}
+
+TEST(Histogram, SingleSamplePercentilesNeverExceedMax) {
+  LatencyHistogram h;
+  h.record(1000);  // bucket upper bound would be 1023 without clamping
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 1000u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentilesStayWithinObservedRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {500u, 501u, 502u, 90000u}) h.record(v);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.percentile(q), 500u) << "q=" << q;
+    EXPECT_LE(h.percentile(q), 90000u) << "q=" << q;
+  }
+}
+
 }  // namespace
 }  // namespace rnt

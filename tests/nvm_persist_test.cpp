@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "common/timing.hpp"
 #include "nvm/persist.hpp"
@@ -114,6 +115,46 @@ TEST_F(PersistTest, ResetAggregateClears) {
   reset_aggregate_stats();
   EXPECT_EQ(aggregate_stats().persist, 0u);
   EXPECT_EQ(tls_stats().persist, 0u);
+}
+
+TEST_F(PersistTest, AggregateIncludesExitedThreads) {
+  reset_aggregate_stats();
+  // Both recorder threads exit before aggregation; their counts must have
+  // been folded into the registry's retired totals, not lost.
+  for (int t = 0; t < 2; ++t) {
+    std::thread([] {
+      alignas(64) char tbuf[64];
+      persist(tbuf, 8);
+      persist(tbuf, 8);
+    }).join();
+  }
+  const PersistStats agg = aggregate_stats();
+  EXPECT_EQ(agg.persist, 4u);
+  EXPECT_EQ(agg.fence, 4u);
+  EXPECT_EQ(agg.clwb, 4u);
+}
+
+TEST_F(PersistTest, ResetAggregateSafeWhileRecordersLive) {
+  // Exactness under a concurrent reset is out of contract; this pins down
+  // that the operation is crash-free and the registry stays consistent
+  // (value never exceeds what the recorders could have written).
+  reset_aggregate_stats();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 3; ++t) {
+    recorders.emplace_back([&] {
+      alignas(64) char tbuf[64];
+      while (!stop.load(std::memory_order_relaxed)) persist(tbuf, 8);
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    reset_aggregate_stats();
+    (void)aggregate_stats();
+  }
+  stop = true;
+  for (auto& t : recorders) t.join();
+  reset_aggregate_stats();
+  EXPECT_EQ(aggregate_stats().persist, 0u);
 }
 
 TEST_F(PersistTest, NoShadowActiveByDefault) {

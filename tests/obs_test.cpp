@@ -1,0 +1,402 @@
+// Tests for src/obs: metrics registry aggregation (live + exited threads),
+// the legacy-struct cell bridge, gauges, histogram shards, the trace ring
+// (wraparound, clear/re-enable), OpTrace recording, and the JSON/Prometheus
+// export (well-formedness via a mini JSON parser).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nvm/persist.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/op_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace rnt::obs {
+namespace {
+
+// Each test uses its own metric names: the registry is process-wide and
+// append-only, so sharing names across tests would couple their counts.
+
+TEST(Registry, CounterAggregatesAcrossLiveThreads) {
+  Counter c("test.reg.live");
+  c.inc(5);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) c.inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), 5u + 4u * 1000u);
+}
+
+TEST(Registry, CounterIncludesExitedThreads) {
+  Counter c("test.reg.exited");
+  std::thread([&] { c.inc(123); }).join();
+  std::thread([&] { c.inc(77); }).join();
+  // Both recorder threads are gone; their slabs must have folded in.
+  EXPECT_EQ(c.value(), 200u);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Counter a("test.reg.samename");
+  Counter b("test.reg.samename");
+  EXPECT_EQ(a.id(), b.id());
+  a.inc(1);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(Registry, ResetCounterZeroesEverywhere) {
+  Counter c("test.reg.reset");
+  c.inc(9);
+  std::thread([&] { c.inc(10); }).join();  // lands in the retired total
+  EXPECT_EQ(c.value(), 19u);
+  reset_counter(c.id());
+  EXPECT_EQ(c.value(), 0u);
+  c.inc(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Registry, ResetIsSafeWhileRecordersLive) {
+  // Not an exactness test (reset concurrent with increments loses counts by
+  // contract) — only that nothing crashes or goes backwards wildly.
+  Counter c("test.reg.racyreset");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t)
+    ts.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.inc();
+    });
+  for (int i = 0; i < 100; ++i) {
+    reset_counter(c.id());
+    (void)c.value();
+  }
+  stop = true;
+  for (auto& t : ts) t.join();
+  SUCCEED();
+}
+
+TEST(Registry, GaugeSetAddValue) {
+  Gauge g("test.reg.gauge");
+  g.set(40);
+  g.add(2);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+TEST(Registry, HistogramMergesThreadShards) {
+  Histogram h("test.reg.hist");
+  h.record(10);
+  std::thread([&] {
+    for (int i = 0; i < 99; ++i) h.record(1000);
+  }).join();
+  LatencyHistogram agg = h.aggregate();
+  EXPECT_EQ(agg.count(), 100u);
+  EXPECT_EQ(agg.min(), 10u);
+  EXPECT_EQ(agg.max(), 1000u);
+}
+
+TEST(Registry, AttachedCellBridgeCountsAndFolds) {
+  const MetricId id = register_metric("test.reg.bridge", Kind::kCounter);
+  std::uint64_t cell = 0;
+  attach_cell(id, &cell);
+  cell = 50;
+  EXPECT_EQ(counter_value(id), 50u);
+  detach_cell(id, &cell);  // folds the final value into the retired total
+  EXPECT_EQ(counter_value(id), 50u);
+  cell = 999;  // detached: no longer visible
+  EXPECT_EQ(counter_value(id), 50u);
+}
+
+TEST(Registry, SnapshotContainsRegisteredMetrics) {
+  Counter c("test.reg.snap");
+  c.inc(7);
+  Gauge g("test.reg.snapgauge");
+  g.set(-3);
+  Snapshot s = snapshot();
+  EXPECT_EQ(s.counter("test.reg.snap"), 7u);
+  EXPECT_EQ(s.counter("test.reg.absent"), 0u);
+  bool found_gauge = false;
+  for (const auto& [n, v] : s.gauges)
+    if (n == "test.reg.snapgauge") {
+      found_gauge = true;
+      EXPECT_EQ(v, -3);
+    }
+  EXPECT_TRUE(found_gauge);
+  // Sorted by name (binary-search/diff friendly output).
+  for (std::size_t i = 1; i < s.counters.size(); ++i)
+    EXPECT_LT(s.counters[i - 1].first, s.counters[i].first);
+}
+
+// --- trace ring -----------------------------------------------------------
+
+TraceEvent make_event(std::uint64_t key) {
+  TraceEvent e{};
+  e.key = key;
+  e.op = static_cast<std::uint16_t>(OpKind::kFind);
+  e.result = static_cast<std::uint16_t>(OpResult::kOk);
+  return e;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_traces();
+    set_trace_capacity(0);
+  }
+  void TearDown() override {
+    clear_traces();
+    set_trace_capacity(0);
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  trace(make_event(1));
+  EXPECT_TRUE(collect_traces().empty());
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  set_trace_capacity(8);
+  for (std::uint64_t i = 0; i < 20; ++i) trace(make_event(i));
+  std::vector<TraceEvent> evs = collect_traces();
+  ASSERT_EQ(evs.size(), 8u);
+  // Oldest-first window over the last 8 of 20 events.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(evs[i].key, 12 + i);
+    EXPECT_EQ(evs[i].seq, 12 + i);
+  }
+}
+
+TEST_F(TraceTest, FewerEventsThanCapacityAllRetained) {
+  set_trace_capacity(64);
+  for (std::uint64_t i = 0; i < 5; ++i) trace(make_event(i));
+  EXPECT_EQ(collect_traces().size(), 5u);
+}
+
+TEST_F(TraceTest, ExitedThreadsRingsAreRetained) {
+  set_trace_capacity(16);
+  std::thread([] {
+    for (std::uint64_t i = 0; i < 3; ++i) trace(make_event(100 + i));
+  }).join();
+  trace(make_event(7));
+  std::vector<TraceEvent> evs = collect_traces();
+  EXPECT_EQ(evs.size(), 4u);
+}
+
+TEST_F(TraceTest, ClearDropsRingsAndNewCapacityApplies) {
+  set_trace_capacity(4);
+  for (std::uint64_t i = 0; i < 10; ++i) trace(make_event(i));
+  clear_traces();
+  EXPECT_TRUE(collect_traces().empty());
+  set_trace_capacity(32);
+  // The thread-local ring pointer is stale; the generation bump must force
+  // a fresh ring with the new capacity instead of dereferencing it.
+  for (std::uint64_t i = 0; i < 6; ++i) trace(make_event(i));
+  EXPECT_EQ(collect_traces().size(), 6u);
+}
+
+TEST_F(TraceTest, OpTraceRecordsOutcomeAndPersistDiffs) {
+  set_trace_capacity(16);
+  {
+    OpTrace tr(OpKind::kInsert, 42);
+    tr.leaf(4096);
+    nvm::persist(&tr, sizeof(tr));  // bump this thread's persist counter
+    tr.finish(true);
+  }
+  {
+    OpTrace tr(OpKind::kFind, 43);
+    tr.finish(false);
+  }
+  std::vector<TraceEvent> evs = collect_traces();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].key, 42u);
+  EXPECT_EQ(evs[0].op, static_cast<std::uint16_t>(OpKind::kInsert));
+  EXPECT_EQ(evs[0].result, static_cast<std::uint16_t>(OpResult::kOk));
+  EXPECT_EQ(evs[0].leaf_off, 4096u);
+  EXPECT_GE(evs[0].persists, 1u);
+  EXPECT_EQ(evs[1].key, 43u);
+  EXPECT_EQ(evs[1].result, static_cast<std::uint16_t>(OpResult::kMiss));
+}
+
+TEST_F(TraceTest, OpTraceMarksCrashOnUnwind) {
+  set_trace_capacity(16);
+  struct Boom {};
+  try {
+    OpTrace tr(OpKind::kUpsert, 9);
+    throw Boom{};
+  } catch (const Boom&) {
+  }
+  std::vector<TraceEvent> evs = collect_traces();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].result, static_cast<std::uint16_t>(OpResult::kCrash));
+}
+
+// --- export ---------------------------------------------------------------
+
+// Minimal recursive-descent JSON validator: accepts exactly the grammar of
+// RFC 8259 values, which is all we need to prove well-formedness without a
+// JSON library in the test image.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& s) : s_(s) {}
+  bool valid() {
+    i_ = 0;
+    return value() && (skip_ws(), i_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++i_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string_()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++i_; return true; }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string_() {
+    if (peek() != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (static_cast<unsigned char>(s_[i_]) < 0x20) return false;
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' || s_[i_] == '-'))
+      ++i_;
+    return i_ > start && std::isdigit(static_cast<unsigned char>(s_[i_ - 1]));
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\n' || s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+TEST(Export, JsonIsWellFormed) {
+  Counter c("test.exp.counter");
+  c.inc(3);
+  Gauge g("test.exp.gauge");
+  g.set(-17);
+  Histogram h("test.exp.hist");
+  h.record(100);
+  const std::string doc = to_json(snapshot(), {{"bench", "unit \"quoted\"", false},
+                                               {"warm", "1000", true}});
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"test.exp.counter\": 3"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"test.exp.gauge\": -17"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"warm\": 1000"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos) << doc;
+}
+
+TEST(Export, JsonWithTraceIsWellFormed) {
+  clear_traces();
+  set_trace_capacity(8);
+  {
+    OpTrace tr(OpKind::kRemove, 5);
+    tr.finish(true);
+  }
+  const std::string doc = to_json(snapshot(), {}, /*include_trace=*/true);
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"trace\": ["), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"op\":\"remove\""), std::string::npos) << doc;
+  clear_traces();
+  set_trace_capacity(0);
+}
+
+TEST(Export, PrometheusExposesCounters) {
+  Counter c("test.exp.prom");
+  c.inc(11);
+  const std::string text = to_prometheus(snapshot());
+  EXPECT_NE(text.find("# TYPE rnt_test_exp_prom counter"), std::string::npos);
+  EXPECT_NE(text.find("rnt_test_exp_prom 11"), std::string::npos);
+  // Exposition format: every non-comment line is "name[{labels}] value".
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#')
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    pos = eol + 1;
+  }
+}
+
+TEST(Export, WriteJsonSnapshotRoundTrips) {
+  Counter c("test.exp.file");
+  c.inc(1);
+  const std::string path = ::testing::TempDir() + "/obs_test_snapshot.json";
+  ASSERT_TRUE(write_json_snapshot(path, {{"bench", "unit", false}}));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string doc;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"test.exp.file\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnt::obs

@@ -96,11 +96,12 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
   struct recover_t {};
   CDDSTree(recover_t, nvm::PmemPool& pool, Options opt = {})
       : Shell(pool, opt.root_slot, /*fresh=*/false) {
-    if (!pool.clean_shutdown()) this->roll_back_splits();
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();  // dirty strictly before any recovery-time mutation
+    if (crashed) this->roll_back_splits();
     this->recover_chain([](Leaf* leaf) -> std::uint64_t {
       return leaf->live_count();
     });
-    pool.mark_dirty();
   }
 
   bool insert(Key k, Value v) {

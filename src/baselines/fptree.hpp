@@ -94,12 +94,13 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
   struct recover_t {};
   FPTree(recover_t, nvm::PmemPool& pool, Options opt = {})
       : Shell(pool, opt.root_slot, /*fresh=*/false) {
-    if (!pool.clean_shutdown()) this->roll_back_splits();
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();  // dirty strictly before any recovery-time mutation
+    if (crashed) this->roll_back_splits();
     this->recover_chain([](Leaf* leaf) -> std::uint64_t {
       return static_cast<std::uint64_t>(
           __builtin_popcountll(leaf->bitmap.load(std::memory_order_relaxed)));
     });
-    pool.mark_dirty();
   }
 
   bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }

@@ -112,7 +112,9 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
   struct recover_t {};
   NVTree(recover_t, nvm::PmemPool& pool, Options opt = {})
       : Shell(pool, opt.root_slot, /*fresh=*/false), opt_(opt) {
-    if (!pool.clean_shutdown()) this->roll_back_splits();
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();  // dirty strictly before any recovery-time mutation
+    if (crashed) this->roll_back_splits();
     this->recover_chain([](Leaf* leaf) -> std::uint64_t {
       // nElement is persisted on every modify: the leaf is self-describing.
       std::uint64_t live = 0;
@@ -120,7 +122,6 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
                          [&](Key, Value) { ++live; });
       return live;
     });
-    pool.mark_dirty();
   }
 
   bool insert(Key k, Value v) { return modify(k, v, Leaf::kInsertLog, false); }

@@ -74,6 +74,10 @@ class TreeShell {
   TreeShell(nvm::PmemPool& pool, int root_slot, bool fresh)
       : pool_(pool), root_slot_(root_slot), inner_(epochs_) {
     if (fresh) {
+      // Dirty-flag protocol: clear the clean flag (durably) strictly before
+      // the first pool mutation, so a crash mid-construction always routes
+      // the next open down the crash-recovery path.
+      pool_.mark_dirty();
       const std::uint64_t off = pool_.alloc(sizeof(Leaf));
       if (off == 0) throw std::bad_alloc();
       Leaf* leaf = pool_.ptr<Leaf>(off);
@@ -81,7 +85,6 @@ class TreeShell {
       nvm::on_modified(leaf, sizeof(Leaf));
       nvm::persist(leaf, sizeof(Leaf));
       pool_.set_root(root_slot, off);
-      pool_.mark_dirty();
       inner_.init_single(leaf);
     }
     // Recovery path: derived constructor calls recover_chain() after any
@@ -102,6 +105,18 @@ class TreeShell {
     std::size_t n = 0;
     for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l)) ++n;
     return n;
+  }
+
+  /// Flush every leaf and mark the pool cleanly closed.  All persistent
+  /// leaf state is already durable operation-by-operation; the extra full
+  /// flush makes close() safe to call even mid-epoch and keeps the contract
+  /// "data durable strictly before the clean flag" self-evident.
+  void close() {
+    for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l)) {
+      nvm::on_modified(l, sizeof(Leaf));
+      nvm::persist(l, sizeof(Leaf));
+    }
+    pool_.close_clean();
   }
 
  protected:

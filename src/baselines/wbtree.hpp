@@ -84,7 +84,9 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
   struct recover_t {};
   WBTree(recover_t, nvm::PmemPool& pool, Options opt = {})
       : Shell(pool, opt.root_slot, /*fresh=*/false) {
-    if (!pool.clean_shutdown()) this->roll_back_splits();
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();  // dirty strictly before any recovery-time mutation
+    if (crashed) this->roll_back_splits();
     this->recover_chain([](Leaf* leaf) -> std::uint64_t {
       if (leaf->valid.load(std::memory_order_relaxed) == 0) {
         // Crash hit between valid:=0 and valid:=1: the logs are the truth.
@@ -102,7 +104,6 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
       leaf->nlogs.store(count == 0 ? 0 : max_idx + 1, std::memory_order_relaxed);
       return count;
     });
-    pool.mark_dirty();
   }
 
   bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
@@ -368,14 +369,15 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
   struct recover_t {};
   WBTreeSO(recover_t, nvm::PmemPool& pool, Options opt = {})
       : Shell(pool, opt.root_slot, /*fresh=*/false) {
-    if (!pool.clean_shutdown()) this->roll_back_splits();
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();  // dirty strictly before any recovery-time mutation
+    if (crashed) this->roll_back_splits();
     this->recover_chain([](Leaf* leaf) -> std::uint64_t {
       // The slot word is atomically persistent: nothing to fix.
       std::uint8_t slot[8];
       Leaf::unpack(leaf->slot_word.load(std::memory_order_relaxed), slot);
       return slot[0];
     });
-    pool.mark_dirty();
   }
 
   bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }

@@ -122,6 +122,10 @@ class RNTree {
   /// Create a fresh tree in @p pool.
   RNTree(nvm::PmemPool& pool, Options opt = {})
       : pool_(pool), opt_(opt), inner_(epochs_) {
+    // Dirty-flag protocol: the clean flag must be cleared (and durable)
+    // strictly before the first pool mutation, so a crash mid-construction
+    // is always routed down the crash-recovery path.
+    pool_.mark_dirty();
     const std::uint64_t off = pool_.alloc(sizeof(Leaf));
     if (off == 0) throw std::bad_alloc();
     Leaf* leaf = pool_.ptr<Leaf>(off);
@@ -129,7 +133,6 @@ class RNTree {
     nvm::on_modified(leaf, sizeof(Leaf));
     nvm::persist(leaf, sizeof(Leaf));
     pool_.set_root(opt.root_slot, off);
-    pool_.mark_dirty();
     inner_.init_single(leaf);
   }
 
@@ -138,8 +141,11 @@ class RNTree {
   struct recover_t {};
   RNTree(recover_t, nvm::PmemPool& pool, Options opt = {})
       : pool_(pool), opt_(opt), inner_(epochs_) {
-    recover();
+    // Capture the shutdown state, then clear the clean flag *before* any
+    // recovery-time NVM mutation (undo rollback) — see fresh ctor.
+    const bool crashed = !pool_.clean_shutdown();
     pool_.mark_dirty();
+    recover(crashed);
   }
 
   RNTree(const RNTree&) = delete;
@@ -317,8 +323,18 @@ class RNTree {
       const int count = l->pslot[0];
       if (count > static_cast<int>(kSlotCap))
         throw std::logic_error("slot count exceeds capacity");
+      const std::uint32_t nlogs = l->nlogs.load(std::memory_order_relaxed);
+      std::uint64_t seen_idx = 0;
       for (int i = 0; i < count; ++i) {
-        const Key k = l->logs[l->pslot[1 + i]].key;
+        const std::uint32_t idx = l->pslot[1 + i];
+        if (idx >= Leaf::kLogCap)
+          throw std::logic_error("slot index beyond log capacity");
+        if (idx >= nlogs)
+          throw std::logic_error("slot index beyond allocated log entries");
+        if ((seen_idx >> idx) & 1)
+          throw std::logic_error("duplicate log index in slot array");
+        seen_idx |= std::uint64_t{1} << idx;
+        const Key k = l->logs[idx].key;
         if (have_prev && !(prev < k))
           throw std::logic_error("keys not strictly increasing");
         prev = k;
@@ -632,8 +648,7 @@ class RNTree {
   // Recovery (S5.4)
   // ------------------------------------------------------------------
 
-  void recover() {
-    const bool crashed = !pool_.clean_shutdown();
+  void recover(bool crashed) {
     if (crashed) roll_back_splits();
 
     std::vector<Leaf*> leaves;

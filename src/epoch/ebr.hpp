@@ -91,6 +91,9 @@ class EpochManager {
 };
 
 inline Guard& Guard::operator=(Guard&& o) noexcept {
+  // Must release the held slot before adopting the source's: a leaked slot
+  // pins its epoch forever (pin() probes a fixed kSlots table, and nothing
+  // retired after the stale epoch could ever be freed).
   if (this != &o) {
     release();
     mgr_ = o.mgr_;

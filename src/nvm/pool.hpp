@@ -97,7 +97,18 @@ class PmemPool {
   /// True when the pool was closed cleanly before the last open.
   bool clean_shutdown() const noexcept;
 
-  /// Mark the pool dirty (called once mutation begins) / clean (on close()).
+  /// Clean-flag ordering contract (crash-recovery correctness hinges on it):
+  ///
+  ///   * open — mark_dirty() must be called (and is persisted before
+  ///     returning) strictly BEFORE the first pool mutation, so a crash at
+  ///     any later point routes the next open down the crash path;
+  ///   * close — close_clean() must be called strictly AFTER all data the
+  ///     clean path trusts is durable.  The flag store and its fence are
+  ///     separate tracked events: a crash between them leaves the flag
+  ///     update unflushed — either it is lost (pool reopens dirty; the
+  ///     crash path re-derives everything) or an eviction lands it (pool
+  ///     reopens clean, which is safe precisely because the data was
+  ///     already durable).
   void mark_dirty();
   void close_clean();
 

@@ -32,9 +32,9 @@ ShadowPool::~ShadowPool() {
 void ShadowPool::track_event() {
   if (crashed_) return;
   ++events_;
-  if (crash_at_event_ != 0 && events_ >= crash_at_event_) {
+  if (events_ >= crash_at_event_) {
     crashed_ = true;
-    crash_at_event_ = 0;
+    crash_at_event_ = kNoCrashScheduled;
     // Post-mortem: with tracing on, show what every thread was doing when
     // the injected crash fired (the in-flight op lands once its OpTrace
     // unwinds and records itself with result=crash).
@@ -101,10 +101,14 @@ void ShadowPool::tx_commit() {
 }
 
 void ShadowPool::schedule_crash_after(std::uint64_t n) {
+  if (n == 0)
+    throw std::invalid_argument(
+        "ShadowPool::schedule_crash_after: n must be >= 1 (a crash before "
+        "the next event is the same state as after the previous one)");
   crash_at_event_ = events_ + n;
 }
 
-void ShadowPool::cancel_scheduled_crash() { crash_at_event_ = 0; }
+void ShadowPool::cancel_scheduled_crash() { crash_at_event_ = kNoCrashScheduled; }
 
 void ShadowPool::make_durable(std::uint64_t line) {
   std::memcpy(durable_.data() + line * kCacheLineSize,
@@ -136,7 +140,7 @@ void ShadowPool::simulate_crash(EvictionMode mode, std::uint64_t seed) {
   tx_.clear();
   tx_depth_ = 0;
   crashed_ = false;
-  crash_at_event_ = 0;
+  crash_at_event_ = kNoCrashScheduled;
 }
 
 }  // namespace rnt::nvm

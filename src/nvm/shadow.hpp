@@ -24,10 +24,27 @@
 // survive (kRandomEviction, seeded).  After the rewind the caller runs the
 // tree's crash recovery on the pool and checks invariants.
 //
-// Crash *injection*: schedule_crash_after(n) makes the n-th subsequent
-// tracked NVM event (store or fence) throw CrashPoint mid-operation, after
-// which the shadow ignores all traffic until simulate_crash() is called.
-// Sweeping n over an operation's event count exercises every crash point.
+// Crash *injection*: schedule_crash_after(n), n >= 1, makes the n-th
+// subsequent tracked NVM event (store or fence) throw CrashPoint
+// mid-operation, after which the shadow ignores all traffic until
+// simulate_crash() is called.  The n-th event takes full effect BEFORE the
+// crash fires:
+//
+//   * crash on a store — the store's lines are already tracked dirty (or
+//     speculative, inside a transaction), so at simulate_crash() time they
+//     are lost or coin-flip survive like any other unflushed line;
+//   * crash on a fence — the fence's pending (CLWB-issued) lines have
+//     already drained to the durable image; the crash lands strictly after
+//     the persist completes.
+//
+// Sweeping n over an operation's event count therefore exercises both
+// "just after this store became evictable" and "just after this persist
+// retired" for every event in the operation.  n == 0 is rejected
+// (std::invalid_argument): a crash "before the next event" is
+// indistinguishable from crashing after the previous one, so it has no
+// distinct semantics — historically it also collided with the disabled
+// sentinel, silently disabling the crash when no events had been tracked
+// yet.
 //
 // Single-threaded by design (asserted): crash-consistency properties are
 // about persist ordering, which the single-thread sweeps cover; concurrency
@@ -72,9 +89,15 @@ class ShadowPool {
 
   // --- crash machinery ---
 
-  /// Throw CrashPoint when the (events_seen()+n)-th tracked event occurs.
+  /// Throw CrashPoint when the (events_seen()+n)-th tracked event occurs,
+  /// after that event's effect is applied (see file comment for the exact
+  /// store-vs-fence semantics).  Requires n >= 1; n == 0 throws
+  /// std::invalid_argument.
   void schedule_crash_after(std::uint64_t n);
   void cancel_scheduled_crash();
+  bool crash_scheduled() const noexcept {
+    return crash_at_event_ != kNoCrashScheduled;
+  }
   std::uint64_t events_seen() const noexcept { return events_; }
   bool crashed() const noexcept { return crashed_; }
 
@@ -105,9 +128,14 @@ class ShadowPool {
   std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> tx_;
   int tx_depth_ = 0;
+  /// Distinct "no crash scheduled" sentinel: an event count can never reach
+  /// it, so every n >= 1 (including one that resolves to an absolute event
+  /// number of 0+1 on a fresh shadow) schedules a real crash.
+  static constexpr std::uint64_t kNoCrashScheduled = ~std::uint64_t{0};
+
   bool crashed_ = false;
   std::uint64_t events_ = 0;
-  std::uint64_t crash_at_event_ = 0;  // 0 = disabled
+  std::uint64_t crash_at_event_ = kNoCrashScheduled;
   std::uint64_t owner_thread_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 namespace rnt::workload {
 
@@ -34,11 +35,25 @@ double ZipfianGenerator::zeta(std::uint64_t n, double theta) noexcept {
 ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta,
                                    std::uint64_t seed)
     : items_(items), theta_(theta), rng_(seed) {
-  const double zeta2 = zeta(2, theta);
+  if (items == 0)
+    throw std::invalid_argument("ZipfianGenerator: items must be >= 1");
+  if (!(theta >= 0.0) || theta >= 1.0)
+    throw std::invalid_argument(
+        "ZipfianGenerator: theta must be in [0, 1) (alpha = 1/(1-theta) "
+        "diverges at 1)");
   zetan_ = zeta(items, theta);
   alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items), 1.0 - theta)) /
-         (1.0 - zeta2 / zetan_);
+  if (items <= 2) {
+    // next() resolves ranks 0 and 1 from uz alone (uz < zetan == the
+    // first-two-ranks mass), so the eta-based tail formula is unreachable.
+    // Computing it anyway would divide by zero for items == 2
+    // (zeta2 == zetan ⇒ 0/0 ⇒ NaN eta); pin eta to a harmless value.
+    eta_ = 0.0;
+  } else {
+    const double zeta2 = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
   half_pow_theta_ = 1.0 + std::pow(0.5, theta);
 }
 

@@ -33,6 +33,8 @@ class ZipfianGenerator {
   static constexpr double kDefaultTheta = 0.99;
 
   /// Ranks are drawn from [0, items); rank 0 is the hottest.
+  /// Requires items >= 1 and theta in [0, 1); throws std::invalid_argument
+  /// otherwise (theta == 1 makes alpha = 1/(1-theta) diverge).
   ZipfianGenerator(std::uint64_t items, double theta, std::uint64_t seed);
 
   std::uint64_t next() noexcept;

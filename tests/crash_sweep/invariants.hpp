@@ -1,0 +1,197 @@
+// Shared crash-recovery invariant oracle for the crash-point sweep
+// (tests/crash_sweep).  After every simulated crash + recovery the harness
+// checks, through one code path shared by all five trees:
+//
+//   1. every committed key is present with its committed value,
+//   2. no uncommitted key is visible (the in-flight op is all-or-nothing),
+//   3. the tree is structurally valid (per-leaf representation invariants,
+//      within-leaf key sortedness and uniqueness),
+//   4. the leaf list is connected (terminates without cycles, high_key
+//      separators strictly increase, every key sits inside its leaf's
+//      [prev_high, high) range),
+//   5. the pool allocator is consistent (every reachable leaf lies inside
+//      the allocated region at cache-line alignment).
+//
+// Each tree specializes only the per-leaf "live entries + representation
+// check" extractor (an overload of live_of below); everything else is
+// shared.  Violations throw std::logic_error — the harness catches and
+// converts them into gtest failures annotated with the crash point,
+// eviction mode, and seed that produced them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/fptree.hpp"
+#include "baselines/nvtree.hpp"
+#include "baselines/wbtree.hpp"
+#include "common/cacheline.hpp"
+#include "core/rn_leaf.hpp"
+#include "core/slot_util.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt::crash_sweep {
+
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+using Model = std::map<Key, Value>;
+using Kv = std::pair<Key, Value>;
+
+[[noreturn]] inline void violation(const std::string& what) {
+  throw std::logic_error("invariant violation: " + what);
+}
+
+// ---------------------------------------------------------------------------
+// Per-leaf live-entry extractors (the per-tree oracle specializations).
+// Each returns the leaf's live entries in key order and throws on any
+// representation violation.
+// ---------------------------------------------------------------------------
+
+inline std::vector<Kv> live_of(const core::RnLeaf<Key, Value>& l) {
+  using Leaf = core::RnLeaf<Key, Value>;
+  const int count = l.pslot[0];
+  if (count > static_cast<int>(core::kSlotCap))
+    violation("RnLeaf: slot count exceeds capacity");
+  std::uint64_t seen = 0;
+  std::vector<Kv> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint32_t idx = l.pslot[1 + i];
+    if (idx >= Leaf::kLogCap) violation("RnLeaf: slot index beyond log cap");
+    if ((seen >> idx) & 1) violation("RnLeaf: duplicate log index in slot array");
+    seen |= std::uint64_t{1} << idx;
+    out.emplace_back(l.logs[idx].key, l.logs[idx].value);
+  }
+  return out;
+}
+
+inline std::vector<Kv> live_of(const baselines::WbLeaf<Key, Value>& l) {
+  using Leaf = baselines::WbLeaf<Key, Value>;
+  if (l.valid.load(std::memory_order_relaxed) != 1)
+    violation("WbLeaf: valid flag not restored to 1 after recovery");
+  const int count = l.pslot[0];
+  if (count > static_cast<int>(core::kSlotCap))
+    violation("WbLeaf: slot count exceeds capacity");
+  std::uint64_t seen = 0;
+  std::vector<Kv> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint32_t idx = l.pslot[1 + i];
+    if (idx >= Leaf::kLogCap) violation("WbLeaf: slot index beyond log cap");
+    if ((seen >> idx) & 1) violation("WbLeaf: duplicate log index in slot array");
+    seen |= std::uint64_t{1} << idx;
+    out.emplace_back(l.logs[idx].key, l.logs[idx].value);
+  }
+  return out;
+}
+
+inline std::vector<Kv> live_of(const baselines::WbSoLeaf<Key, Value>& l) {
+  using Leaf = baselines::WbSoLeaf<Key, Value>;
+  std::uint8_t slot[8];
+  Leaf::unpack(l.slot_word.load(std::memory_order_relaxed), slot);
+  const int count = slot[0];
+  if (count > static_cast<int>(Leaf::kLiveCap))
+    violation("WbSoLeaf: slot count exceeds live capacity");
+  std::uint64_t seen = 0;
+  std::vector<Kv> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint32_t idx = slot[1 + i];
+    if (idx >= Leaf::kLogCap) violation("WbSoLeaf: slot index beyond log cap");
+    if ((seen >> idx) & 1) violation("WbSoLeaf: duplicate log index in slot word");
+    seen |= std::uint64_t{1} << idx;
+    out.emplace_back(l.logs[idx].key, l.logs[idx].value);
+  }
+  return out;
+}
+
+inline std::vector<Kv> live_of(const baselines::NvLeaf<Key, Value>& l) {
+  using Leaf = baselines::NvLeaf<Key, Value>;
+  const std::uint64_t n = l.n_element.load(std::memory_order_relaxed);
+  if (n > Leaf::kLogCap) violation("NvLeaf: nElement exceeds log capacity");
+  // Every entry below nElement was persisted before the counter moved past
+  // it, so its flag must be a well-formed op tag (a torn/garbage entry here
+  // means the counter got ahead of the data).
+  Model live;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto& e = l.logs[i];
+    if (e.flag == Leaf::kInsertLog)
+      live[e.key] = e.value;  // newest wins front-to-back
+    else if (e.flag == Leaf::kRemoveLog)
+      live.erase(e.key);
+    else
+      violation("NvLeaf: log entry below nElement has invalid op flag");
+  }
+  return {live.begin(), live.end()};
+}
+
+inline std::vector<Kv> live_of(const baselines::FpLeaf<Key, Value>& l) {
+  using Leaf = baselines::FpLeaf<Key, Value>;
+  std::uint64_t bm = l.bitmap.load(std::memory_order_relaxed);
+  Model live;
+  while (bm != 0) {
+    const int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    if (l.fp[i] != Leaf::fingerprint(l.logs[i].key))
+      violation("FpLeaf: fingerprint does not match key at occupied slot");
+    if (!live.emplace(l.logs[i].key, l.logs[i].value).second)
+      violation("FpLeaf: duplicate key within leaf bitmap");
+  }
+  return {live.begin(), live.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Shared chain walk: connectivity, bounds, allocator consistency.  Returns
+// the union of all live entries, keyed — the recovered tree's ground truth.
+// ---------------------------------------------------------------------------
+
+template <class Leaf>
+Model collect_chain(nvm::PmemPool& pool, int root_slot = 0) {
+  const std::uint64_t root = pool.root(root_slot);
+  if (root == 0) violation("pool root slot is empty");
+  Model all;
+  Key prev_high = 0;
+  bool have_prev_high = false;
+  std::size_t steps = 0;
+  for (std::uint64_t off = root; off != 0;) {
+    if (++steps > (std::size_t{1} << 20))
+      violation("leaf chain does not terminate (cycle?)");
+    if (off % kCacheLineSize != 0)
+      violation("leaf offset not cache-line aligned");
+    if (off + sizeof(Leaf) > pool.bytes_used())
+      violation("leaf lies beyond the allocated pool region");
+    const Leaf* l = pool.ptr<Leaf>(off);
+    const bool has_high = l->has_high.load(std::memory_order_relaxed) != 0;
+    const Key high = l->high_key.load(std::memory_order_relaxed);
+    const std::uint64_t next = l->next.load(std::memory_order_relaxed);
+    if (has_high && next == 0)
+      violation("leaf has a high_key but no right sibling");
+    if (!has_high && next != 0)
+      violation("chain leaf missing its high_key separator");
+    const std::vector<Kv> live = live_of(*l);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (i > 0 && !(live[i - 1].first < live[i].first))
+        violation("keys not strictly increasing within leaf");
+      if (have_prev_high && live[i].first < prev_high)
+        violation("key below its leaf's lower bound");
+      if (has_high && !(live[i].first < high))
+        violation("key at/above its leaf's high_key");
+      if (!all.emplace(live[i].first, live[i].second).second)
+        violation("duplicate key across leaves");
+    }
+    if (has_high) {
+      if (have_prev_high && !(prev_high < high))
+        violation("high_key separators not strictly increasing");
+      prev_high = high;
+      have_prev_high = true;
+    }
+    off = next;
+  }
+  return all;
+}
+
+}  // namespace rnt::crash_sweep

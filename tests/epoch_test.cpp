@@ -41,6 +41,51 @@ TEST(Epoch, GuardMoveSemantics) {
   EXPECT_FALSE(b.active());
 }
 
+TEST(Epoch, MoveAssignReleasesPreviousSlot) {
+  // A move-assign that leaked the destination's slot would pin its epoch
+  // forever, so the retiree below could never be reclaimed.
+  EpochManager mgr;
+  std::atomic<bool> freed{false};
+  Guard a = mgr.pin();
+  mgr.retire([&] { freed = true; });
+  mgr.collect();
+  EXPECT_FALSE(freed.load());  // a's slot still pins the retiree's epoch
+  a = mgr.pin();               // must release the old slot, then re-pin
+  EXPECT_TRUE(a.active());
+  mgr.collect();
+  EXPECT_TRUE(freed.load());
+}
+
+TEST(Epoch, SelfMoveAssignKeepsGuardActive) {
+  EpochManager mgr;
+  Guard a = mgr.pin();
+  Guard& alias = a;  // defeat -Wself-move at the call site
+  a = std::move(alias);
+  EXPECT_TRUE(a.active());
+  a.release();
+  EXPECT_FALSE(a.active());
+  // The slot really was returned exactly once: a retire now frees promptly.
+  std::atomic<bool> freed{false};
+  mgr.retire([&] { freed = true; });
+  mgr.collect();
+  EXPECT_TRUE(freed.load());
+}
+
+TEST(Epoch, ReassignLoopDoesNotLeakSlots) {
+  // pin() linear-probes EpochManager::kSlots slots and spins when none is
+  // free: a leaky move-assign would wedge this loop well before it finishes
+  // (and trip the manager's destructor assert on leftover pinned slots).
+  EpochManager mgr;
+  Guard g = mgr.pin();
+  for (int i = 0; i < 4 * EpochManager::kSlots; ++i) g = mgr.pin();
+  EXPECT_TRUE(g.active());
+  g.release();
+  std::atomic<bool> freed{false};
+  mgr.retire([&] { freed = true; });
+  mgr.collect();
+  EXPECT_TRUE(freed.load());
+}
+
 TEST(Epoch, NewGuardDoesNotBlockOlderRetire) {
   EpochManager mgr;
   std::atomic<bool> freed{false};

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "nvm/pool.hpp"
+#include "nvm/shadow.hpp"
 
 namespace rnt::nvm {
 namespace {
@@ -110,6 +111,84 @@ TEST_F(PoolTest, HighWaterSurvivesReopen) {
   const std::uint64_t next = pool.alloc(4096);
   // Conservative: never hands out space below the persisted high-water mark.
   EXPECT_GT(next, last);
+}
+
+TEST_F(PoolTest, CloseCleanIsExactlyThreeTrackedEvents) {
+  // The clean-shutdown protocol window the crash tests below step through:
+  // store(used), store(clean), one fence for the whole header persist.
+  PmemPool pool(kPoolSize);
+  pool.mark_dirty();
+  ShadowPool shadow(pool);
+  pool.close_clean();
+  EXPECT_EQ(shadow.events_seen(), 3u);
+}
+
+TEST_F(PoolTest, CloseCleanCrashBetweenFlagStoreAndFence) {
+  // Crash after the clean-flag store but before its fence: under kNone the
+  // flag update is lost, so the pool reopens dirty and the next open takes
+  // the crash-recovery path — data persisted before close_clean() survives.
+  PmemPool pool(kPoolSize);
+  const std::uint64_t off = pool.alloc(64);
+  auto* p = pool.ptr<std::uint64_t>(off);
+  store(*p, std::uint64_t{0xABCu});
+  persist(p, 8);
+  pool.mark_dirty();
+  {
+    ShadowPool shadow(pool);
+    shadow.schedule_crash_after(2);
+    EXPECT_THROW(pool.close_clean(), CrashPoint);
+    shadow.simulate_crash(EvictionMode::kNone);
+  }
+  pool.reopen_volatile();
+  EXPECT_FALSE(pool.clean_shutdown());
+  EXPECT_EQ(*p, 0xABCu);
+}
+
+TEST_F(PoolTest, CloseCleanCrashFlagMayLandViaEviction) {
+  // Same crash point under random eviction: the header line either evicted
+  // (flag landed -> clean reopen, safe because the data was already
+  // durable) or not (dirty reopen).  Both outcomes must occur across seeds
+  // and the data must survive either way.
+  bool clean_seen = false;
+  bool dirty_seen = false;
+  for (std::uint64_t seed = 0; seed < 64 && !(clean_seen && dirty_seen);
+       ++seed) {
+    PmemPool pool(kPoolSize);
+    const std::uint64_t off = pool.alloc(64);
+    auto* p = pool.ptr<std::uint64_t>(off);
+    store(*p, std::uint64_t{0xABCu});
+    persist(p, 8);
+    pool.mark_dirty();
+    {
+      ShadowPool shadow(pool);
+      shadow.schedule_crash_after(2);
+      EXPECT_THROW(pool.close_clean(), CrashPoint);
+      shadow.simulate_crash(EvictionMode::kRandomEviction, seed);
+    }
+    pool.reopen_volatile();
+    EXPECT_EQ(*p, 0xABCu);
+    if (pool.clean_shutdown())
+      clean_seen = true;
+    else
+      dirty_seen = true;
+  }
+  EXPECT_TRUE(clean_seen) << "no seed ever evicted the header line";
+  EXPECT_TRUE(dirty_seen) << "every seed evicted the header line";
+}
+
+TEST_F(PoolTest, CloseCleanCrashOnFenceReopensClean) {
+  // Crash ON the fence: pending header lines drain before the CrashPoint
+  // fires, so the clean flag is durable and the reopen is clean.
+  PmemPool pool(kPoolSize);
+  pool.mark_dirty();
+  {
+    ShadowPool shadow(pool);
+    shadow.schedule_crash_after(3);
+    EXPECT_THROW(pool.close_clean(), CrashPoint);
+    shadow.simulate_crash(EvictionMode::kNone);
+  }
+  pool.reopen_volatile();
+  EXPECT_TRUE(pool.clean_shutdown());
 }
 
 TEST_F(PoolTest, FileBackedDurabilityAcrossReopen) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 
 #include "nvm/pool.hpp"
 #include "nvm/shadow.hpp"
@@ -197,6 +198,79 @@ TEST_F(ShadowTest, CrashDuringPersistKeepsFencedPrefix) {
   shadow.simulate_crash(EvictionMode::kNone);
   EXPECT_EQ(p[0], 1u);
   EXPECT_EQ(p[8], 0u);
+}
+
+TEST_F(ShadowTest, ScheduleCrashAfterZeroThrows) {
+  PmemPool pool(kPoolSize);
+  ShadowPool shadow(pool);
+  // n == 0 used to collide with the "disabled" sentinel and silently
+  // schedule nothing; it is now rejected outright.
+  EXPECT_THROW(shadow.schedule_crash_after(0), std::invalid_argument);
+  EXPECT_FALSE(shadow.crash_scheduled());
+}
+
+TEST_F(ShadowTest, ScheduleAfterOneOnFreshShadowFires) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  ASSERT_EQ(shadow.events_seen(), 0u);
+  shadow.schedule_crash_after(1);
+  EXPECT_TRUE(shadow.crash_scheduled());
+  EXPECT_THROW(store(*p, std::uint64_t{1}), CrashPoint);
+  EXPECT_TRUE(shadow.crashed());
+  EXPECT_FALSE(shadow.crash_scheduled());
+}
+
+TEST_F(ShadowTest, CancelScheduledCrash) {
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  shadow.schedule_crash_after(1);
+  shadow.cancel_scheduled_crash();
+  EXPECT_FALSE(shadow.crash_scheduled());
+  EXPECT_NO_THROW(store(*p, std::uint64_t{1}));
+  EXPECT_FALSE(shadow.crashed());
+}
+
+TEST_F(ShadowTest, CrashOnFenceLandsAfterPersistCompletes) {
+  // Crash-on-fence semantics: the fence's pending lines drain to the
+  // durable image BEFORE the CrashPoint fires, so a value whose persist was
+  // the crashing event survives even the strictest crash.
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  ShadowPool shadow(pool);
+  store(*p, std::uint64_t{9});  // event 1
+  clwb(p);                      // no event; line pending
+  shadow.schedule_crash_after(1);
+  EXPECT_THROW(sfence(), CrashPoint);  // event 2 (the fence)
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 9u);
+}
+
+TEST_F(ShadowTest, CrashOnStoreLeavesLineEvictableButNotDurable) {
+  // Crash-on-store semantics: the store has taken effect in cache — the
+  // line is lost under kNone but may survive under random eviction.
+  PmemPool pool(kPoolSize);
+  auto* p = pool.ptr<std::uint64_t>(pool.alloc(64));
+  store(*p, std::uint64_t{1});
+  persist(p, 8);
+  ShadowPool shadow(pool);
+
+  shadow.schedule_crash_after(1);
+  EXPECT_THROW(store(*p, std::uint64_t{2}), CrashPoint);
+  shadow.simulate_crash(EvictionMode::kNone);
+  EXPECT_EQ(*p, 1u);  // strict: lost
+
+  bool survived = false;
+  for (std::uint64_t seed = 0; seed < 64 && !survived; ++seed) {
+    shadow.schedule_crash_after(1);
+    EXPECT_THROW(store(*p, std::uint64_t{2}), CrashPoint);
+    shadow.simulate_crash(EvictionMode::kRandomEviction, seed);
+    survived = (*p == 2u);
+    store(*p, std::uint64_t{1});  // reset the durable baseline
+    persist(p, 8);
+  }
+  EXPECT_TRUE(survived) << "no seed in [0,64) evicted the crashed store";
 }
 
 TEST_F(ShadowTest, OnlyOneShadowAtATime) {

@@ -7,8 +7,11 @@
 // src/sim) and make the injected-latency model auditable.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <string>
 
+#include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "core/rntree.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -147,17 +150,147 @@ BENCHMARK(BM_RNTreeUpsert_140ns);
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Perf-gate mode (--gate-json=FILE): one canonical single-thread workload
+// whose numbers are committed as BENCH_micro.json and compared by
+// tools/perf_gate.py in CI.  The workload is fixed — changing it invalidates
+// every committed baseline, so version it via the "schema" meta field.
+//
+// Four rate phases (closed-loop, default 0.4 s each):
+//   calib  — a pure-CPU mix64 loop; a machine-speed normalizer so the gate
+//            can compare *ratios* (tree rate / calib rate) across hosts
+//   find   — uniform point lookups over the warm keys
+//   insert — fresh-key inserts continuing past the warm range
+//   mixed  — 50% find / 25% update / 25% fresh insert
+// plus the Table-1 persist-count check: the mode (most frequent value) of
+// per-op persist-instruction deltas over 64 ops per class.  Modes are exact
+// machine-independent integers — any drift is a correctness-level failure,
+// not noise.
+// ---------------------------------------------------------------------------
+namespace {
+
+template <typename Fn>
+std::uint64_t persist_mode_of(Fn&& op) {
+  std::map<std::uint64_t, int> freq;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t before = nvm::tls_stats().persist;
+    op(i);
+    freq[nvm::tls_stats().persist - before]++;
+  }
+  std::uint64_t best = 0;
+  int best_n = -1;
+  for (const auto& [v, n] : freq)
+    if (n > best_n) { best = v; best_n = n; }
+  return best;
+}
+
+int run_gate(const std::string& path, std::uint64_t warm, double secs) {
+  nvm::config().write_latency_ns = 0;
+  nvm::config().per_line_ns = 0;
+
+  nvm::PmemPool pool(std::max<std::size_t>(std::size_t{256} << 20, warm * 160));
+  core::RNTree<> tree(pool);
+  for (std::uint64_t i = 0; i < warm; ++i) tree.upsert(mix64(i), i);
+
+  std::uint64_t acc = 0;
+  const double calib =
+      bench::measure_rate(secs, [&](std::uint64_t i) { acc ^= mix64(i); });
+
+  Xoshiro256 rng(42);
+  const double find = bench::measure_rate(secs, [&](std::uint64_t) {
+    auto r = tree.find(mix64(rng.next_below(warm)));
+    if (r) acc ^= *r;
+  });
+
+  std::uint64_t fresh = warm;
+  const double insert = bench::measure_rate(secs, [&](std::uint64_t) {
+    tree.insert(mix64(fresh), fresh);
+    ++fresh;
+  });
+
+  const double mixed = bench::measure_rate(secs, [&](std::uint64_t i) {
+    switch (i & 3) {
+      case 0:
+      case 1: {
+        auto r = tree.find(mix64(rng.next_below(warm)));
+        if (r) acc ^= *r;
+        break;
+      }
+      case 2:
+        tree.update(mix64(rng.next_below(warm)), i);
+        break;
+      default:
+        tree.insert(mix64(fresh), fresh);
+        ++fresh;
+        break;
+    }
+  });
+
+  const std::uint64_t find_p = persist_mode_of(
+      [&](int i) { (void)tree.find(mix64(static_cast<std::uint64_t>(i) * 97 % warm)); });
+  const std::uint64_t update_p = persist_mode_of([&](int i) {
+    (void)tree.update(mix64(static_cast<std::uint64_t>(i) * 131 % warm), 7);
+  });
+  const std::uint64_t insert_p = persist_mode_of([&](int) {
+    (void)tree.insert(mix64(fresh), fresh);
+    ++fresh;
+  });
+  const std::uint64_t remove_p = persist_mode_of([&](int i) {
+    (void)tree.remove(mix64(static_cast<std::uint64_t>(i) * 131 % warm));
+  });
+
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return std::string(buf);
+  };
+  const std::vector<rnt::obs::MetaField> meta = {
+      {"bench", "micro_gate", false},
+      {"schema", "rnt-gate-v1", false},
+      {"warm", std::to_string(warm), true},
+      {"seconds", num(secs), true},
+      {"calib_mops", num(calib * 1e-6), true},
+      {"find_mops", num(find * 1e-6), true},
+      {"insert_mops", num(insert * 1e-6), true},
+      {"mixed_mops", num(mixed * 1e-6), true},
+      {"find_persists_mode", std::to_string(find_p), true},
+      {"insert_persists_mode", std::to_string(insert_p), true},
+      {"update_persists_mode", std::to_string(update_p), true},
+      {"remove_persists_mode", std::to_string(remove_p), true},
+  };
+  rnt::obs::write_json_snapshot(path, meta, false);
+  std::printf("gate: calib %.2f Mops | find %.4f | insert %.4f | mixed %.4f"
+              " | persists f/i/u/r = %llu/%llu/%llu/%llu -> %s\n",
+              calib * 1e-6, find * 1e-6, insert * 1e-6, mixed * 1e-6,
+              (unsigned long long)find_p, (unsigned long long)insert_p,
+              (unsigned long long)update_p, (unsigned long long)remove_p,
+              path.c_str());
+  return acc == 0x12345 ? 1 : 0;  // keep acc observable; always returns 0
+}
+
+}  // namespace
+
 // Custom main instead of BENCHMARK_MAIN(): peel off the repo-wide
-// --stats-json=FILE / --trace=N flags (google-benchmark rejects flags it
-// does not know) before handing the rest to the library.
+// --stats-json=FILE / --trace=N flags plus the gate-mode flags
+// (google-benchmark rejects flags it does not know) before handing the rest
+// to the library.
 int main(int argc, char** argv) {
   std::string stats_json;
+  std::string gate_json;
+  std::uint64_t gate_warm = 200'000;
+  double gate_secs = 0.4;
   bool tracing = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--stats-json=", 0) == 0) {
       stats_json = a.substr(13);
+    } else if (a.rfind("--gate-json=", 0) == 0) {
+      gate_json = a.substr(12);
+    } else if (a.rfind("--gate-warm=", 0) == 0) {
+      gate_warm = std::strtoull(a.c_str() + 12, nullptr, 10);
+    } else if (a.rfind("--gate-seconds=", 0) == 0) {
+      gate_secs = std::strtod(a.c_str() + 15, nullptr);
     } else if (a.rfind("--trace=", 0) == 0) {
       rnt::obs::set_trace_capacity(std::strtoull(a.c_str() + 8, nullptr, 10));
       tracing = true;
@@ -166,6 +299,7 @@ int main(int argc, char** argv) {
     }
   }
   argc = out;
+  if (!gate_json.empty()) return run_gate(gate_json, gate_warm, gate_secs);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,30 @@
 #include <immintrin.h>
 #endif
 
+// Marks functions whose data races are BY DESIGN and resolved by validation:
+// seqlock/version-lock readers copy shared lines while writers may be
+// storing into them, then discard the snapshot if the version moved.  TSan
+// cannot see the validation, so under -fsanitize=thread these functions opt
+// out of instrumentation; every other access stays checked.  Expands to
+// nothing in normal builds.
+#if defined(__SANITIZE_THREAD__)
+#define RNT_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RNT_TSAN_ENABLED 1
+#else
+#define RNT_TSAN_ENABLED 0
+#endif
+#else
+#define RNT_TSAN_ENABLED 0
+#endif
+
+#if RNT_TSAN_ENABLED
+#define RNT_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#else
+#define RNT_NO_SANITIZE_THREAD
+#endif
+
 namespace rnt {
 
 /// Polite spin-wait hint (PAUSE on x86); keeps a spinning hyperthread from
@@ -28,6 +52,26 @@ inline void prefetch_range(const void* p, std::size_t n) noexcept {
   const char* c = static_cast<const char*>(p);
   for (std::size_t off = 0; off < n; off += 64)
     __builtin_prefetch(c + off, /*rw=*/0, /*locality=*/1);
+}
+
+/// Copy for seqlock read sides: the source may be concurrently written (the
+/// snapshot is validated afterwards), so the copy must stay invisible to
+/// TSan.  Plain memcpy would defeat RNT_NO_SANITIZE_THREAD on the caller —
+/// libtsan intercepts the libc call and reports the reader access anyway —
+/// so under TSan this compiles to uninstrumented inline word loads/stores.
+/// Normal builds keep memcpy (vectorized; this is the find() hot path).
+/// @p n must be a multiple of 8 (callers copy whole cache lines).
+#if RNT_TSAN_ENABLED
+RNT_NO_SANITIZE_THREAD
+#endif
+inline void racy_copy(void* dst, const void* src, std::size_t n) noexcept {
+#if RNT_TSAN_ENABLED
+  auto* d = static_cast<unsigned long long*>(dst);
+  auto* s = static_cast<const unsigned long long*>(src);
+  for (std::size_t i = 0; i < n / 8; ++i) d[i] = s[i];
+#else
+  __builtin_memcpy(dst, src, n);
+#endif
 }
 
 /// Exponential-backoff helper for contended CAS loops.

@@ -1,7 +1,10 @@
 #include "common/thread_id.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "nvm/pool.hpp"
 
@@ -11,6 +14,17 @@ namespace {
 
 std::mutex g_mu;
 bool g_in_use[nvm::kMaxThreads] = {};
+
+// Exit-hook registry.  A separate mutex from g_mu: hooks run user code (a
+// pool's cache fold takes the pool allocation lock), and holding the id
+// bitmap lock across that would order g_mu before every hook-side lock.
+// Lock order: g_hooks_mu -> (whatever a hook takes); g_mu nests inside
+// nothing.
+std::mutex g_hooks_mu;
+std::vector<std::pair<ThreadExitHook, void*>>& hooks() {
+  static std::vector<std::pair<ThreadExitHook, void*>> v;
+  return v;
+}
 
 int acquire_id() {
   std::lock_guard lk(g_mu);
@@ -30,7 +44,17 @@ void release_id(int id) {
 
 struct TlsId {
   int id = acquire_id();
-  ~TlsId() { release_id(id); }
+  ~TlsId() {
+    // Run exit hooks while the id still belongs to this thread, so a hook's
+    // per-id cleanup cannot race the id's next owner.  Holding g_hooks_mu
+    // across the calls makes unregister a barrier: once it returns, no hook
+    // invocation is in flight.
+    {
+      std::lock_guard lk(g_hooks_mu);
+      for (const auto& [fn, arg] : hooks()) fn(arg, id);
+    }
+    release_id(id);
+  }
 };
 
 }  // namespace
@@ -38,6 +62,17 @@ struct TlsId {
 int pmem_thread_id() {
   thread_local TlsId tls;
   return tls.id;
+}
+
+void register_thread_exit_hook(ThreadExitHook fn, void* arg) {
+  std::lock_guard lk(g_hooks_mu);
+  hooks().emplace_back(fn, arg);
+}
+
+void unregister_thread_exit_hook(ThreadExitHook fn, void* arg) {
+  std::lock_guard lk(g_hooks_mu);
+  auto& v = hooks();
+  v.erase(std::remove(v.begin(), v.end(), std::make_pair(fn, arg)), v.end());
 }
 
 }  // namespace rnt

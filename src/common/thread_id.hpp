@@ -1,8 +1,8 @@
 // Small, recycled per-thread ids for persistent per-thread resources
-// (split undo-log slots).  Ids are drawn from [0, nvm::kMaxThreads) on first
-// use and returned when the thread exits, so arbitrarily many short-lived
-// threads can run over a process lifetime as long as at most kMaxThreads are
-// simultaneously inside the library.
+// (split undo-log slots, allocator caches).  Ids are drawn from
+// [0, nvm::kMaxThreads) on first use and returned when the thread exits, so
+// arbitrarily many short-lived threads can run over a process lifetime as
+// long as at most kMaxThreads are simultaneously inside the library.
 #pragma once
 
 namespace rnt {
@@ -10,5 +10,20 @@ namespace rnt {
 /// This thread's id in [0, nvm::kMaxThreads).  Throws std::runtime_error if
 /// more threads than undo slots are alive at once.
 int pmem_thread_id();
+
+/// Called on a library thread's exit with the id it is about to release,
+/// BEFORE the id becomes reusable — so per-id resources (e.g. a pool's
+/// allocation cache) can be reclaimed without racing the id's next owner.
+using ThreadExitHook = void (*)(void* arg, int thread_id);
+
+/// Register @p fn to run at every library thread's exit.  Hooks run under an
+/// internal mutex; they may take their own locks (lock order: hook registry
+/// before anything the hook acquires) but must not call back into the
+/// registry.  The same (fn, arg) pair may be registered once.
+void register_thread_exit_hook(ThreadExitHook fn, void* arg);
+
+/// Remove a previously registered hook.  After return the hook is guaranteed
+/// not to be running and will never run again (safe to destroy @p arg).
+void unregister_thread_exit_hook(ThreadExitHook fn, void* arg);
 
 }  // namespace rnt

@@ -6,7 +6,13 @@
 //   line 1 : persistent slot array (byte 0 = count, bytes 1.. = log indices)
 //   line 2 : transient slot array (the dual-slot design, S4.3); contents are
 //            volatile — recovery rebuilds it from line 1
-//   line 3+: 16-byte KV log entries, cache-line aligned, append-only
+//   line 3 : transient fingerprint line (FPTree-style): byte i = 1-byte hash
+//            of the key at slot position i.  Maintained inside the same
+//            write window as the slot array it mirrors, never persisted —
+//            recovery rebuilds it from line 1, so Table-1 persist counts
+//            are unchanged.  Point probes SIMD-filter this line before
+//            touching any full key (see slot_util.hpp).
+//   line 4+: 16-byte KV log entries, cache-line aligned, append-only
 //
 // nlogs counts *allocated* log entries (bumped lock-free by CAS, Alg 2);
 // plogs counts *consumed* ones.  Neither is crash-consistent: recovery
@@ -18,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "common/cacheline.hpp"
 #include "core/slot_util.hpp"
@@ -60,7 +67,12 @@ struct alignas(kCacheLineSize) RnLeaf {
   // ---- line 2: transient slot array (dual-slot design) ----
   std::uint8_t tslot[kCacheLineSize];
 
-  // ---- lines 3+: KV log entries ----
+  // ---- line 3: transient fingerprint line (position-parallel to the
+  // reader-visible slot array; adjacent to tslot so the dual-slot reader
+  // snapshot is one contiguous 128-byte copy) ----
+  std::uint8_t fps[kCacheLineSize];
+
+  // ---- lines 4+: KV log entries ----
   Entry logs[kLogCap];
 
   /// In-place construction on freshly allocated pool memory.
@@ -74,6 +86,7 @@ struct alignas(kCacheLineSize) RnLeaf {
     has_high.store(0, std::memory_order_relaxed);
     pslot[0] = 0;
     tslot[0] = 0;
+    std::memset(fps, 0, kCacheLineSize);
   }
 
   std::uint8_t live_count() const noexcept { return pslot[0]; }
@@ -83,8 +96,9 @@ namespace layout_check {
 using L = RnLeaf<std::uint64_t, std::uint64_t>;
 static_assert(offsetof(L, pslot) == kCacheLineSize, "slot array is line 1");
 static_assert(offsetof(L, tslot) == 2 * kCacheLineSize, "dual slot is line 2");
-static_assert(offsetof(L, logs) == 3 * kCacheLineSize, "logs start at line 3");
-static_assert(sizeof(L) == 3 * kCacheLineSize + L::kLogCap * sizeof(L::Entry));
+static_assert(offsetof(L, fps) == 3 * kCacheLineSize, "fingerprints are line 3");
+static_assert(offsetof(L, logs) == 4 * kCacheLineSize, "logs start at line 4");
+static_assert(sizeof(L) == 4 * kCacheLineSize + L::kLogCap * sizeof(L::Entry));
 static_assert(alignof(L) == kCacheLineSize);
 }  // namespace layout_check
 

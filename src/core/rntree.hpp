@@ -192,31 +192,38 @@ class RNTree {
         continue;
       }
       tr.leaf(pool_.off(leaf));
-      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
-      std::memcpy(snew, leaf->pslot, kCacheLineSize);
-      const int pos = slot_lower_bound(snew, leaf->logs, k);
-      if (!slot_match(snew, leaf->logs, pos, k)) {
+      // Under the lock pslot and fps are quiescent and position-parallel:
+      // probe them in place, no binary search.
+      const int pos = slot_fp_find(leaf->pslot, leaf->fps, leaf->logs, k);
+      if (pos < 0) {
         leaf->vlock.unlock();
         return tr.finish(false);
       }
-      slot_remove_at(snew, pos);
-      publish_slot(leaf, snew);
+      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
+      alignas(kCacheLineSize) std::uint8_t fnew[kCacheLineSize];
+      std::memcpy(snew, leaf->pslot, kCacheLineSize);
+      std::memcpy(fnew, leaf->fps, kCacheLineSize);
+      slot_fp_remove_at(snew, fnew, pos);
+      publish_slot(leaf, snew, fnew);
       size_.fetch_sub(1, std::memory_order_relaxed);
       leaf->vlock.unlock();
       return tr.finish(true);
     }
   }
 
-  /// Point lookup (Alg 4).
-  std::optional<Value> find(Key k) const {
+  /// Point lookup (Alg 4).  The snapshot's fingerprint line filters slot
+  /// positions branch-free before any full key is touched: a miss usually
+  /// costs zero key loads, a hit one (false positives are verified through
+  /// the indirection, so they only cost an extra load).
+  RNT_NO_SANITIZE_THREAD std::optional<Value> find(Key k) const {
     obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = epochs_.pin();
     for (;;) {
       Leaf* leaf = inner_.find_leaf(k);
-      // Overlap the whole leaf's fetch with the search: the binary probes
-      // through the slot indirection would otherwise serialize a cache miss
-      // per probe.
-      prefetch_range(leaf, sizeof(Leaf));
+      // Overlap the metadata lines' fetch (header + slot + fingerprints)
+      // with the version read; matched KV lines are fetched on demand —
+      // the fingerprint filter touches at most a couple of them.
+      prefetch_range(leaf, 4 * kCacheLineSize);
       for (;;) {
         const std::uint64_t v = leaf->vlock.stable_version();
         if (beyond(leaf, k)) {
@@ -225,15 +232,21 @@ class RNTree {
           leaf = nxt;
           continue;
         }
-        alignas(kCacheLineSize) std::uint8_t snap[kCacheLineSize];
+        alignas(kCacheLineSize) std::uint8_t snap[2 * kCacheLineSize];
         if (!snapshot_slot(leaf, snap)) {
           stats_.count_find_retry();
           continue;
         }
-        const int pos = slot_lower_bound(snap, leaf->logs, k);
+        const int pos = slot_fp_find(snap, snap + kCacheLineSize, leaf->logs, k);
         std::optional<Value> res;
-        if (slot_match(snap, leaf->logs, pos, k))
-          res = leaf->logs[snap[1 + pos]].value;
+        if (pos >= 0) {
+          // Copy into a local before constructing the optional: the ctor is
+          // an out-of-line template instantiation, and handing it a reference
+          // into the (racy, validated-below) log line would put the shared
+          // read outside this function's RNT_NO_SANITIZE_THREAD scope.
+          const Value val = leaf->logs[snap[1 + pos]].value;
+          res = val;
+        }
         if (leaf->vlock.stable_version() != v) {
           stats_.count_find_retry();
           continue;  // split raced; snapshot may index rewritten logs
@@ -250,7 +263,7 @@ class RNTree {
   /// Per-leaf atomic snapshots; the scan as a whole follows the persistent
   /// next chain exactly as the paper describes.
   template <typename Fn>
-  std::size_t scan(Key start, Fn&& fn) const {
+  RNT_NO_SANITIZE_THREAD std::size_t scan(Key start, Fn&& fn) const {
     obs::OpTrace tr(obs::OpKind::kScan, start);
     tr.finish(true);
     epoch::Guard g = epochs_.pin();
@@ -265,7 +278,7 @@ class RNTree {
         leaf = nxt;
         continue;
       }
-      alignas(kCacheLineSize) std::uint8_t snap[kCacheLineSize];
+      alignas(kCacheLineSize) std::uint8_t snap[2 * kCacheLineSize];
       if (!snapshot_slot(leaf, snap)) continue;
       Entry batch[Leaf::kLogCap];
       const int count = snap[0];
@@ -334,6 +347,8 @@ class RNTree {
         if ((seen_idx >> idx) & 1)
           throw std::logic_error("duplicate log index in slot array");
         seen_idx |= std::uint64_t{1} << idx;
+        if (l->fps[i] != key_fp(l->logs[idx].key))
+          throw std::logic_error("stale fingerprint at slot position");
         const Key k = l->logs[idx].key;
         if (have_prev && !(prev < k))
           throw std::logic_error("keys not strictly increasing");
@@ -393,32 +408,48 @@ class RNTree {
   /// the reader-visible window (mseq) must include the flush so a reader
   /// can never return data whose slot array is not yet durable — this is
   /// the read-uncommitted anomaly the paper closes; in dual-slot mode the
-  /// readers' window is only the transient-array copy below.
-  void publish_slot(Leaf* leaf, const std::uint8_t* snew) {
+  /// readers' window is only the transient-array copy below.  The transient
+  /// fingerprint line is rewritten inside the same reader-visible window as
+  /// the slot array it mirrors (plain stores: it is never persisted).
+  void publish_slot(Leaf* leaf, const std::uint8_t* snew,
+                    const std::uint8_t* fnew) {
+    // fnew == leaf->fps means "fingerprints unchanged" (an in-place value
+    // update re-points a slot at a new log entry for the same key): skip the
+    // self-copy but keep the seqlock windows identical.
     if (!opt_.dual_slot) leaf->mseq.write_begin();
     nvm::htm_tx_begin();
     nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize);
     nvm::htm_tx_commit();
     nvm::persist(leaf->pslot, kCacheLineSize);
     if (!opt_.dual_slot) {
+      if (fnew != leaf->fps) std::memcpy(leaf->fps, fnew, kCacheLineSize);
       leaf->mseq.write_end();
     } else {
       // htmLeafCopySlot: publish to the transient array readers use.
       leaf->tseq.write_begin();
       std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+      if (fnew != leaf->fps) std::memcpy(leaf->fps, fnew, kCacheLineSize);
       leaf->tseq.write_end();
     }
   }
 
-  /// htmLeafSnapshot: consistent copy of the reader-visible slot array.
-  bool snapshot_slot(const Leaf* leaf, std::uint8_t* out) const {
+  /// htmLeafSnapshot: consistent copy of the reader-visible slot array AND
+  /// its fingerprint line.  @p out receives 2 cache lines: the slot array
+  /// at out[0..63] and the position-parallel fingerprints at out[64..127].
+  /// Readers race with publish_slot by design (seqlock validation discards
+  /// torn copies), so the whole read side is RNT_NO_SANITIZE_THREAD —
+  /// see common/hints.hpp.
+  RNT_NO_SANITIZE_THREAD bool snapshot_slot(const Leaf* leaf,
+                                            std::uint8_t* out) const {
     if (opt_.dual_slot) {
+      // tslot and fps are adjacent lines: one contiguous 128-byte copy.
       const std::uint32_t s = leaf->tseq.read_begin();
-      std::memcpy(out, leaf->tslot, kCacheLineSize);
+      racy_copy(out, leaf->tslot, 2 * kCacheLineSize);
       return leaf->tseq.read_validate(s);
     }
     const std::uint32_t s = leaf->mseq.read_begin();
-    std::memcpy(out, leaf->pslot, kCacheLineSize);
+    racy_copy(out, leaf->pslot, kCacheLineSize);
+    racy_copy(out + kCacheLineSize, leaf->fps, kCacheLineSize);
     return leaf->mseq.read_validate(s);
   }
 
@@ -486,10 +517,11 @@ class RNTree {
         continue;
       }
 
-      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
-      std::memcpy(snew, leaf->pslot, kCacheLineSize);
-      const int pos = slot_lower_bound(snew, leaf->logs, k);
-      const bool exists = slot_match(snew, leaf->logs, pos, k);
+      // Exact-match probe through the fingerprint line first: updates and
+      // conditional failures resolve with no binary search; only an insert
+      // of a fresh key pays the lower_bound for its sorted position.
+      int pos = slot_fp_find(leaf->pslot, leaf->fps, leaf->logs, k);
+      const bool exists = pos >= 0;
       if ((mode == Mode::kInsert && exists) ||
           (mode == Mode::kUpdate && !exists)) {
         // Conditional write fails with no extra cost: the slot array told
@@ -501,11 +533,20 @@ class RNTree {
         leaf->vlock.unlock();
         return tr.finish(false);
       }
-      if (exists)
+      alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
+      alignas(kCacheLineSize) std::uint8_t fnew[kCacheLineSize];
+      std::memcpy(snew, leaf->pslot, kCacheLineSize);
+      const std::uint8_t* fpub = leaf->fps;  // update: same key, same fps
+      if (exists) {
         snew[1 + pos] = static_cast<std::uint8_t>(e);  // update: re-point slot
-      else
-        slot_insert_at(snew, pos, static_cast<std::uint8_t>(e));
-      publish_slot(leaf, snew);
+      } else {
+        std::memcpy(fnew, leaf->fps, kCacheLineSize);
+        pos = slot_lower_bound(snew, leaf->logs, k);
+        slot_fp_insert_at(snew, fnew, pos, static_cast<std::uint8_t>(e),
+                          key_fp(k));
+        fpub = fnew;
+      }
+      publish_slot(leaf, snew, fpub);
       leaf->plogs++;
       if (!exists) size_.fetch_add(1, std::memory_order_relaxed);
       if (leaf->plogs >= Leaf::kLogCap - 1 || snew[0] >= kSlotCap)
@@ -563,6 +604,7 @@ class RNTree {
                     std::memory_order_relaxed);
     nl->plogs = static_cast<std::uint32_t>(live - split);
     std::memcpy(nl->tslot, nl->pslot, kCacheLineSize);
+    slot_fp_rebuild(nl->pslot, nl->fps, nl->logs);
     nvm::on_modified(nl, sizeof(Leaf));
     nvm::persist(nl, sizeof(Leaf));
 
@@ -583,6 +625,7 @@ class RNTree {
     nvm::persist(leaf, sizeof(Leaf));
     leaf->tseq.write_begin();
     std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+    slot_fp_rebuild(leaf->pslot, leaf->fps, leaf->logs);
     leaf->tseq.write_end();
 
     // The split is durable; retire the undo BEFORE making the new leaf
@@ -615,6 +658,7 @@ class RNTree {
     nvm::persist(leaf, sizeof(Leaf));
     leaf->tseq.write_begin();
     std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+    slot_fp_rebuild(leaf->pslot, leaf->fps, leaf->logs);
     leaf->tseq.write_end();
     end_undo(undo);
     leaf->vlock.unset_split_and_bump();
@@ -678,6 +722,9 @@ class RNTree {
       }
       // else: the clean-shutdown path trusts the persisted header counters.
       std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+      // The fingerprint line is transient: always rebuilt from the
+      // persistent slot array, clean shutdown or not.
+      slot_fp_rebuild(leaf->pslot, leaf->fps, leaf->logs);
       live += leaf->pslot[0];
       leaves.push_back(leaf);
       if (leaf->has_high.load(std::memory_order_relaxed) != 0)

@@ -8,22 +8,25 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/thread_id.hpp"
 #include "obs/metrics.hpp"
 
 namespace rnt::nvm {
 
 namespace {
 
-// Allocator telemetry (process-wide across pools; alloc already serialises
-// on alloc_mu_, so counter cost is immaterial).  pool.bytes_used tracks the
-// bump pointer of whichever pool allocated last — benches run one pool at a
-// time, which is the case this gauge serves.
+// Allocator telemetry (process-wide across pools; counters are per-thread
+// cells, so the lock-free cache path can charge them too).  pool.bytes_used
+// tracks the bump pointer of whichever pool allocated last — benches run one
+// pool at a time, which is the case this gauge serves.
 struct PoolCounters {
   obs::Counter allocs{"pool.allocs"};
   obs::Counter alloc_bytes{"pool.alloc_bytes"};
   obs::Counter frees{"pool.frees"};
   obs::Counter freelist_hits{"pool.freelist_hits"};
   obs::Counter exhausted{"pool.exhausted"};
+  obs::Counter cache_refills{"pool.cache_refills"};
+  obs::Counter cache_folds{"pool.cache_folds"};
   obs::Gauge bytes_used{"pool.bytes_used"};
 };
 
@@ -61,6 +64,7 @@ PmemPool::PmemPool(std::size_t size, const std::string& path) : path_(path) {
     base_ = map_file(fd_, size_);
   }
   init_fresh();
+  register_thread_exit_hook(&thread_exit_trampoline, this);
 }
 
 PmemPool::PmemPool(const std::string& path) : path_(path) {
@@ -71,9 +75,12 @@ PmemPool::PmemPool(const std::string& path) : path_(path) {
   size_ = static_cast<std::size_t>(len);
   base_ = map_file(fd_, size_);
   load_existing();
+  register_thread_exit_hook(&thread_exit_trampoline, this);
 }
 
 PmemPool::~PmemPool() {
+  // After this returns no exit hook can touch the dying pool.
+  unregister_thread_exit_hook(&thread_exit_trampoline, this);
   if (base_ != nullptr) ::munmap(base_, size_);
   if (fd_ >= 0) ::close(fd_);
 }
@@ -97,7 +104,14 @@ void PmemPool::load_existing() {
   if (h->magic != kMagic) throw std::runtime_error("PmemPool: bad magic");
   if (h->size != size_) throw std::runtime_error("PmemPool: size mismatch");
   bump_.store(h->used, std::memory_order_relaxed);
+  reset_volatile_alloc_state();
+}
+
+void PmemPool::reset_volatile_alloc_state() {
   free_lists_.clear();
+  freelist_count_.store(0, std::memory_order_relaxed);
+  reclaim_spans_.clear();
+  for (ThreadCache& tc : caches_) tc = ThreadCache{};
 }
 
 void PmemPool::reopen_volatile() {
@@ -106,17 +120,69 @@ void PmemPool::reopen_volatile() {
 }
 
 std::uint64_t PmemPool::alloc(std::size_t size) {
-  const std::size_t sz = align_up(size, kCacheLineSize);
-  std::lock_guard lk(alloc_mu_);
+  const std::uint64_t sz = align_up(size, kCacheLineSize);
   counters().allocs.inc();
   counters().alloc_bytes.inc(sz);
-  auto it = free_lists_.find(sz);
-  if (it != free_lists_.end() && !it->second.empty()) {
-    const std::uint64_t off = it->second.back();
-    it->second.pop_back();
-    counters().freelist_hits.inc();
-    return off;
+  // Freed-block reuse wins over fresh carving (exact size-class match, as
+  // before sharding); the atomic emptiness check keeps the common
+  // nothing-ever-freed path off the mutex.
+  if (freelist_count_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lk(alloc_mu_);
+    auto it = free_lists_.find(sz);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      const std::uint64_t off = it->second.back();
+      it->second.pop_back();
+      freelist_count_.fetch_sub(1, std::memory_order_relaxed);
+      counters().freelist_hits.inc();
+      return off;
+    }
   }
+  if (sz < kSubChunk) {
+    // pmem_thread_id() may take the id-registry lock on first use: resolve
+    // it before alloc_mu_ so the two never nest.
+    ThreadCache& tc = caches_[pmem_thread_id()];
+    if (tc.rem < sz) {
+      std::lock_guard lk(alloc_mu_);
+      refill_cache_locked(tc, sz);
+    }
+    if (tc.rem >= sz) {
+      const std::uint64_t off = tc.off;
+      tc.off += sz;
+      tc.rem -= sz;
+      return off;
+    }
+    // Refill failed (pool nearly full): fall through — a direct bump may
+    // still satisfy a request smaller than a sub-chunk remainder.
+  }
+  std::lock_guard lk(alloc_mu_);
+  return alloc_direct(sz);
+}
+
+bool PmemPool::refill_cache_locked(ThreadCache& tc, std::uint64_t need) {
+  if (tc.rem > 0) {
+    // Never strand the old remainder: make it refillable by any thread.
+    reclaim_spans_.push_back({tc.off, tc.rem});
+    tc = ThreadCache{};
+  }
+  for (std::size_t i = 0; i < reclaim_spans_.size(); ++i) {
+    if (reclaim_spans_[i].len >= need) {
+      tc.off = reclaim_spans_[i].off;
+      tc.rem = reclaim_spans_[i].len;
+      reclaim_spans_[i] = reclaim_spans_.back();
+      reclaim_spans_.pop_back();
+      counters().cache_refills.inc();
+      return true;
+    }
+  }
+  const std::uint64_t off = alloc_direct(kSubChunk);
+  if (off == 0) return false;
+  tc.off = off;
+  tc.rem = kSubChunk;
+  counters().cache_refills.inc();
+  return true;
+}
+
+std::uint64_t PmemPool::alloc_direct(std::uint64_t sz) {
   const std::uint64_t off = bump_.load(std::memory_order_relaxed);
   if (off + sz > size_) {
     counters().exhausted.inc();
@@ -127,7 +193,8 @@ std::uint64_t PmemPool::alloc(std::size_t size) {
   Header* h = header();
   if (off + sz > h->used) {
     // Persist a chunk-rounded high-water mark; a crash can leak at most the
-    // unpersisted remainder of one chunk.
+    // unpersisted remainder of one chunk (plus volatile cache/free/reclaim
+    // contents below the mark — see the header comment in pool.hpp).
     std::uint64_t mark = align_up(off + sz, kChunk);
     if (mark > size_) mark = size_;
     store(h->used, mark);
@@ -142,6 +209,21 @@ void PmemPool::free(std::uint64_t offset, std::size_t size) {
   std::lock_guard lk(alloc_mu_);
   counters().frees.inc();
   free_lists_[sz].push_back(offset);
+  freelist_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PmemPool::fold_thread_cache(int tid) {
+  std::lock_guard lk(alloc_mu_);
+  ThreadCache& tc = caches_[tid];
+  if (tc.rem > 0) {
+    reclaim_spans_.push_back({tc.off, tc.rem});
+    counters().cache_folds.inc();
+  }
+  tc = ThreadCache{};
+}
+
+void PmemPool::thread_exit_trampoline(void* self, int tid) {
+  static_cast<PmemPool*>(self)->fold_thread_cache(tid);
 }
 
 std::uint64_t PmemPool::root(int slot) const noexcept {

@@ -12,12 +12,27 @@
 //   * 8 named root slots (the trees store their leftmost-leaf offset in one;
 //     the paper: "the pointer to the left-most leaf node is stored in a
 //     well-known static address")
-//   * allocation high-water mark, persisted at chunk granularity (crash may
-//     leak at most one chunk; recovery treats everything below the mark as
-//     potentially live)
+//   * allocation high-water mark, persisted at chunk granularity
 //   * clean-shutdown flag distinguishing reconstruction from crash recovery
 //   * per-thread split undo-log slots (Alg 3 logs the whole leaf "in a
 //     pre-defined thread-local storage" before splitting)
+//
+// Allocation is sharded: each thread owns a volatile cache that carves
+// sub-chunks (kSubChunk) off the shared bump pointer, so the common alloc is
+// a thread-local pointer bump with no lock.  Only refills, large blocks
+// (>= kSubChunk), and freed-block reuse serialize on the allocation mutex.
+// Crash-safety is unchanged from the global-bump design and remains chunk
+// (kChunk) granular: the persisted high-water mark only ever moves when a
+// refill or large alloc crosses a chunk boundary, and recovery treats
+// everything below the mark as potentially live.  What a crash can leak:
+//   * the unpersisted remainder of the current chunk (as before), plus
+//   * unconsumed space inside live thread caches and the volatile reclaim /
+//     free lists — all below the mark, so recovery never hands them out
+//     twice; they are simply unreachable space, exactly like blocks freed
+//     into the volatile free list before the crash.
+// Thread *exit* leaks nothing: an exit hook folds the departing thread's
+// cache remainder into a reclaim list that refills prefer over fresh
+// carving (see register_thread_exit_hook).
 #pragma once
 
 #include <atomic>
@@ -53,6 +68,11 @@ class PmemPool {
   static constexpr std::uint64_t kMagic = 0x524E545245453139ull;  // "RNTREE19"
   static constexpr int kNumRoots = 8;
   static constexpr std::uint64_t kChunk = 1u << 20;  ///< high-water persist step
+  /// Span a thread cache carves off the shared bump pointer per refill.
+  /// Large enough that a leaf-heavy workload refills (and so locks) once
+  /// every ~50 leaf allocations, small enough that 64 thread caches strand
+  /// at most 4 MB in a crash.
+  static constexpr std::uint64_t kSubChunk = 64u << 10;
 
   /// Create a fresh pool.  If @p path is empty the pool is DRAM-backed;
   /// otherwise it is a mmap'd file (created/truncated).
@@ -79,10 +99,18 @@ class PmemPool {
   }
 
   /// Allocate @p size bytes, cache-line aligned.  Returns 0 on exhaustion.
+  /// Blocks below kSubChunk are served from the calling thread's cache
+  /// (lock-free after the cache holds a span); freed-block reuse and larger
+  /// blocks take the allocation mutex.
   std::uint64_t alloc(std::size_t size);
 
   /// Return a block to the (volatile) free list.
   void free(std::uint64_t offset, std::size_t size);
+
+  /// First offset the data area can ever hand out.  Every offset returned by
+  /// alloc() satisfies data_begin() <= off < size() (invariant oracles use
+  /// this lower bound to catch allocator corruption).
+  static std::uint64_t data_begin() noexcept { return data_start(); }
 
   /// Named persistent roots.
   std::uint64_t root(int slot) const noexcept;
@@ -129,9 +157,33 @@ class PmemPool {
     std::uint64_t roots[kNumRoots];
   };
 
+  /// Per-thread allocation cache: an unconsumed span carved off bump_.
+  /// Volatile by design — a crash leaks the remainders (below the persisted
+  /// mark, never re-issued); a thread exit folds them into reclaim_spans_.
+  struct alignas(kCacheLineSize) ThreadCache {
+    std::uint64_t off = 0;
+    std::uint64_t rem = 0;
+  };
+
+  /// A folded (offset, length) span available for cache refills.
+  struct Span {
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+
   Header* header() const noexcept { return reinterpret_cast<Header*>(base_); }
   void init_fresh();
   void load_existing();
+  void reset_volatile_alloc_state();
+  /// Give @p tc a span of at least @p need bytes: a reclaimed span if one
+  /// fits, else a fresh kSubChunk (or final remainder) off bump_.  Any prior
+  /// remainder is folded first.  Caller must hold alloc_mu_.
+  bool refill_cache_locked(ThreadCache& tc, std::uint64_t need);
+  /// Bump-allocate @p sz directly (large blocks, near-exhaustion fallback).
+  std::uint64_t alloc_direct(std::uint64_t sz);
+  /// Thread-exit hook body: fold thread @p tid's cache into reclaim_spans_.
+  void fold_thread_cache(int tid);
+  static void thread_exit_trampoline(void* self, int tid);
   static std::uint64_t undo_area_off() noexcept {
     return align_up(sizeof(Header), kCacheLineSize);
   }
@@ -147,6 +199,11 @@ class PmemPool {
   std::atomic<std::uint64_t> bump_{0};
   std::mutex alloc_mu_;
   std::unordered_map<std::size_t, std::vector<std::uint64_t>> free_lists_;
+  /// Total blocks across free_lists_; lets alloc skip the mutex when the
+  /// free list is known empty (the common case for append-mostly trees).
+  std::atomic<std::uint64_t> freelist_count_{0};
+  std::vector<Span> reclaim_spans_;  ///< folded exited-thread remainders
+  ThreadCache caches_[kMaxThreads];
 };
 
 }  // namespace rnt::nvm

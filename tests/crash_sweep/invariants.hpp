@@ -162,6 +162,8 @@ Model collect_chain(nvm::PmemPool& pool, int root_slot = 0) {
       violation("leaf chain does not terminate (cycle?)");
     if (off % kCacheLineSize != 0)
       violation("leaf offset not cache-line aligned");
+    if (off < nvm::PmemPool::data_begin())
+      violation("leaf offset inside the pool header/undo area");
     if (off + sizeof(Leaf) > pool.bytes_used())
       violation("leaf lies beyond the allocated pool region");
     const Leaf* l = pool.ptr<Leaf>(off);

@@ -2,9 +2,14 @@
 // durability, and restart semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
+#include "common/cacheline.hpp"
 #include "nvm/pool.hpp"
 #include "nvm/shadow.hpp"
 
@@ -222,6 +227,59 @@ TEST_F(PoolTest, DataStartClearsHeaderRegion) {
   const std::uint64_t first = pool.alloc(64);
   // First allocation must land beyond the header + undo area.
   EXPECT_GE(first, static_cast<std::uint64_t>(sizeof(UndoSlot)) * kMaxThreads);
+  EXPECT_GE(first, PmemPool::data_begin());
+}
+
+TEST_F(PoolTest, ThreadCachesGiveDisjointBlocksAcrossThreads) {
+  PmemPool pool(kPoolSize);
+  constexpr int kPerThread = 200;
+  std::vector<std::uint64_t> a(kPerThread), b(kPerThread);
+  std::thread ta([&] {
+    for (int i = 0; i < kPerThread; ++i) a[i] = pool.alloc(64);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kPerThread; ++i) b[i] = pool.alloc(64 * 3);
+  });
+  ta.join();
+  tb.join();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (std::uint64_t off : a) spans.emplace_back(off, off + 64);
+  for (std::uint64_t off : b) spans.emplace_back(off, off + 64 * 3);
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_NE(spans[i].first, 0u);
+    EXPECT_EQ(spans[i].first % kCacheLineSize, 0u);
+    EXPECT_GE(spans[i].first, PmemPool::data_begin());
+    if (i > 0) EXPECT_GE(spans[i].first, spans[i - 1].second) << "overlap at " << i;
+  }
+}
+
+// Satellite regression: a thread's partially-carved sub-chunk must not leak
+// when the thread exits — the exit hook folds the remainder into the reclaim
+// list, and the very next refill (any thread) reuses it.
+TEST_F(PoolTest, ThreadExitFoldsCacheRemainderForReuse) {
+  PmemPool pool(kPoolSize);
+  std::uint64_t a = 0;
+  std::thread t([&] { a = pool.alloc(64); });
+  t.join();
+  ASSERT_NE(a, 0u);
+  // This thread's cache is empty, so its refill must prefer the folded span
+  // (which starts right after the exited thread's one block) over carving a
+  // fresh sub-chunk from the high-water mark.
+  const std::uint64_t b = pool.alloc(64);
+  EXPECT_EQ(b, a + 64);
+}
+
+TEST_F(PoolTest, LargeBlocksBypassThreadCache) {
+  PmemPool pool(kPoolSize);
+  // A sub-chunk-sized block takes the direct bump path; interleaving with
+  // small cached allocations must still produce disjoint blocks.
+  const std::uint64_t small1 = pool.alloc(64);
+  const std::uint64_t big = pool.alloc(PmemPool::kSubChunk);
+  const std::uint64_t small2 = pool.alloc(64);
+  EXPECT_EQ(small2, small1 + 64);  // same cache span, contiguous
+  EXPECT_GE(big, small1 + PmemPool::kSubChunk);  // beyond the cached span
+  EXPECT_TRUE(small2 + 64 <= big || small2 >= big + PmemPool::kSubChunk);
 }
 
 }  // namespace

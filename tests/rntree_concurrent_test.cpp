@@ -106,7 +106,7 @@ TEST_P(RNTreeConcurrentTest, ReadersSeeOnlyCompleteValues) {
   });
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Xoshiro256 rng(static_cast<std::uint64_t>(r) + 1);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t k = rng.next_below(kKeys);
@@ -212,7 +212,7 @@ TEST_P(RNTreeConcurrentTest, ScansDuringInsertsSeeSortedConsistentLeaves) {
   });
   std::vector<std::thread> scanners;
   for (int r = 0; r < 2; ++r) {
-    scanners.emplace_back([&] {
+    scanners.emplace_back([&, r] {
       Xoshiro256 rng(static_cast<std::uint64_t>(r) + 3);
       while (!stop.load(std::memory_order_relaxed)) {
         std::uint64_t prev = 0;

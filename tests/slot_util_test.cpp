@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -113,6 +114,120 @@ TEST(SlotUtil, InsertRemoveAtEveryPosition) {
     for (int i = 0; i < 16; ++i)
       EXPECT_EQ(logs[slot[1 + i]].key, static_cast<std::uint64_t>(i * 2));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint kernels
+// ---------------------------------------------------------------------------
+
+// Reference implementation the SIMD/SWAR kernel must agree with bit-for-bit.
+std::uint64_t naive_match_mask(const std::uint8_t* fps, int count,
+                               std::uint8_t fp) {
+  std::uint64_t m = 0;
+  for (int i = 0; i < count; ++i)
+    if (fps[i] == fp) m |= std::uint64_t{1} << i;
+  return m;
+}
+
+TEST(SlotFp, MatchMaskAgreesWithNaiveAtEveryCount) {
+  Xoshiro256 rng(1234);
+  alignas(64) std::uint8_t fps[64];
+  for (int round = 0; round < 50; ++round) {
+    for (auto& b : fps) b = static_cast<std::uint8_t>(rng.next());
+    // Make some needles common so both hit and miss paths are exercised.
+    const std::uint8_t needle =
+        (round & 1) ? fps[rng.next_below(64)] : static_cast<std::uint8_t>(rng.next());
+    for (int count = 0; count <= 63; ++count)
+      ASSERT_EQ(fp_match_mask(fps, count, needle),
+                naive_match_mask(fps, count, needle))
+          << "round " << round << " count " << count;
+  }
+}
+
+TEST(SlotFp, MatchMaskNeverReadsBeyondCount) {
+  alignas(64) std::uint8_t fps[64];
+  std::fill(std::begin(fps), std::end(fps), 0xAB);
+  // Bytes at positions >= count match the needle but must be masked out.
+  EXPECT_EQ(fp_match_mask(fps, 0, 0xAB), 0u);
+  EXPECT_EQ(fp_match_mask(fps, 5, 0xAB), 0x1Fu);
+  EXPECT_EQ(fp_match_mask(fps, 63, 0xAB), (std::uint64_t{1} << 63) - 1);
+}
+
+TEST(SlotFp, FindVerifiesThroughIndirectionOnCollisions) {
+  alignas(64) std::uint8_t slot[64];
+  alignas(64) std::uint8_t fps[64] = {};
+  Entry logs[64];
+  // Two keys engineered to share a fingerprint byte: the probe must reject
+  // the colliding position via the full key and land on the real one.
+  std::uint64_t k1 = 100, k2 = 101;
+  while (key_fp(k2) != key_fp(k1)) ++k2;
+  ASSERT_EQ(key_fp(k1), key_fp(k2));
+  ASSERT_NE(k1, k2);
+  const std::uint64_t lo = std::min(k1, k2), hi = std::max(k1, k2);
+  logs[0] = {lo, 111};
+  logs[1] = {hi, 222};
+  slot[0] = 2;
+  slot[1] = 0;
+  slot[2] = 1;
+  slot_fp_rebuild(slot, fps, logs);
+  EXPECT_EQ(slot_fp_find(slot, fps, logs, lo), 0);
+  EXPECT_EQ(slot_fp_find(slot, fps, logs, hi), 1);
+  EXPECT_EQ(slot_fp_find(slot, fps, logs, lo + hi), -1);
+}
+
+TEST(SlotFp, ParallelInsertRemoveKeepsLinesInLockstep) {
+  Xoshiro256 rng(99);
+  alignas(64) std::uint8_t slot[64];
+  alignas(64) std::uint8_t fps[64];
+  Entry logs[64];
+  slot[0] = 0;
+  std::memset(fps, 0, sizeof(fps));
+  std::vector<std::uint64_t> keys;
+  int next_log = 0;
+  for (int op = 0; op < 300; ++op) {
+    if (next_log < 63 && (keys.size() < 4 || rng.next_below(2) == 0)) {
+      std::uint64_t k;
+      do {
+        k = rng.next_below(100'000);
+      } while (std::count(keys.begin(), keys.end(), k) != 0);
+      logs[next_log] = {k, k * 3};
+      const int pos = slot_lower_bound(slot, logs, k);
+      slot_fp_insert_at(slot, fps, pos, static_cast<std::uint8_t>(next_log),
+                        key_fp(k));
+      ++next_log;
+      keys.push_back(k);
+    } else if (!keys.empty()) {
+      const std::size_t vi = rng.next_below(keys.size());
+      const int pos = slot_fp_find(slot, fps, logs, keys[vi]);
+      ASSERT_GE(pos, 0);
+      slot_fp_remove_at(slot, fps, pos);
+      keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(vi));
+    }
+    // Every live position's fingerprint mirrors its slot's key; every live
+    // key is findable; a dead key is not.
+    ASSERT_EQ(slot[0], keys.size());
+    for (int i = 0; i < slot[0]; ++i)
+      ASSERT_EQ(fps[i], key_fp(logs[slot[1 + i]].key));
+    for (std::uint64_t k : keys) ASSERT_GE(slot_fp_find(slot, fps, logs, k), 0);
+    ASSERT_EQ(slot_fp_find(slot, fps, logs, std::uint64_t{1'000'000}), -1);
+    if (next_log == 63 && keys.empty()) break;
+  }
+}
+
+TEST(SlotFp, RebuildZeroesTailPositions) {
+  alignas(64) std::uint8_t slot[64];
+  alignas(64) std::uint8_t fps[64];
+  std::fill(std::begin(fps), std::end(fps), 0xFF);
+  Entry logs[64];
+  logs[0] = {42, 0};
+  logs[1] = {10, 0};
+  slot[0] = 2;
+  slot[1] = 1;  // sorted order 10, 42 through the indirection
+  slot[2] = 0;
+  slot_fp_rebuild(slot, fps, logs);
+  EXPECT_EQ(fps[0], key_fp(std::uint64_t{10}));
+  EXPECT_EQ(fps[1], key_fp(std::uint64_t{42}));
+  for (int i = 2; i < 64; ++i) EXPECT_EQ(fps[i], 0) << i;
 }
 
 }  // namespace

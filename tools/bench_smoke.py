@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Run one bench binary with tiny parameters and validate its JSON export.
+
+Usage:
+    bench_smoke.py [--schema=stats|gate] <binary> [bench flags...]
+
+Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
+--schema=gate) pointing at a temp file, runs the binary, and checks that it
+exits 0 and that the export matches the documented schema:
+
+  stats  obs registry snapshot (src/obs/export.hpp): {"meta": {...},
+         "counters": {str: int}, "gauges": {str: num},
+         "histograms": {str: {count,min,max,mean,p50,p90,p99,p999}}}
+         with meta.bench present.
+  gate   bench_micro perf-gate export: meta-only document with
+         schema == "rnt-gate-v1", numeric *_mops rates and integer
+         *_persists_mode counts (the contract tools/perf_gate.py relies on).
+
+Registered in bench/CMakeLists.txt as one ctest per bench binary, so "the
+benches still run and still export what the tooling parses" is part of the
+tier-1 suite rather than something discovered at paper-figure time.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE_RATES = ["calib_mops", "find_mops", "insert_mops", "mixed_mops"]
+GATE_PERSISTS = [
+    "find_persists_mode",
+    "insert_persists_mode",
+    "update_persists_mode",
+    "remove_persists_mode",
+]
+HIST_FIELDS = ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"]
+
+
+def fail(msg):
+    print(f"bench_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_stats(doc):
+    expect(isinstance(doc, dict), "document is not a JSON object")
+    for section in ("meta", "counters", "gauges", "histograms"):
+        expect(isinstance(doc.get(section), dict), f"missing object '{section}'")
+    expect(isinstance(doc["meta"].get("bench"), str), "meta.bench missing")
+    for k, v in doc["counters"].items():
+        expect(isinstance(v, int) and v >= 0, f"counter {k!r} not a non-negative int")
+    for k, v in doc["gauges"].items():
+        expect(is_num(v), f"gauge {k!r} not a number")
+    for k, h in doc["histograms"].items():
+        expect(isinstance(h, dict), f"histogram {k!r} not an object")
+        for f in HIST_FIELDS:
+            expect(is_num(h.get(f)), f"histogram {k!r} missing numeric {f!r}")
+
+
+def validate_gate(doc):
+    expect(isinstance(doc, dict), "document is not a JSON object")
+    meta = doc.get("meta")
+    expect(isinstance(meta, dict), "missing object 'meta'")
+    expect(meta.get("schema") == "rnt-gate-v1",
+           f"meta.schema is {meta.get('schema')!r}, want 'rnt-gate-v1'")
+    for k in GATE_RATES:
+        expect(is_num(meta.get(k)) and meta[k] > 0, f"meta.{k} not a positive number")
+    for k in GATE_PERSISTS:
+        expect(isinstance(meta.get(k), int), f"meta.{k} not an integer")
+
+
+def main():
+    args = sys.argv[1:]
+    schema = "stats"
+    if args and args[0].startswith("--schema="):
+        schema = args.pop(0).split("=", 1)[1]
+    if schema not in ("stats", "gate") or not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    binary, bench_args = args[0], args[1:]
+    json_flag = "--gate-json=" if schema == "gate" else "--stats-json="
+    fd, path = tempfile.mkstemp(prefix="bench_smoke_", suffix=".json")
+    os.close(fd)
+    try:
+        cmd = [binary] + bench_args + [json_flag + path]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, timeout=600)
+        if proc.returncode != 0:
+            sys.stdout.buffer.write(proc.stdout)
+            fail(f"{' '.join(cmd)} exited {proc.returncode}")
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"JSON export unreadable: {e}")
+        (validate_gate if schema == "gate" else validate_stats)(doc)
+        print(f"bench_smoke: OK ({os.path.basename(binary)}, schema={schema})")
+        return 0
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_micro's canonical gate workload.
+
+Runs `bench_micro --gate-json=...` N times (default 3), takes per-metric
+medians, and compares them against the committed baseline (BENCH_micro.json):
+
+  * throughput metrics (find/insert/mixed) are compared as ratios against the
+    run's own calib_mops — a pure-CPU loop that factors out machine speed, so
+    the same baseline file gates both the growth VM and CI runners;
+  * Table-1 persist-instruction modes (find/insert/update/remove) must match
+    the baseline EXACTLY — they are deterministic integers; any drift means a
+    hot path gained or lost a persistent instruction, which is a
+    correctness-level change, never noise.
+
+Exit status: 0 = pass, 1 = regression or persist drift, 2 = usage/run error.
+
+Typical use:
+  python3 tools/perf_gate.py --bench build/bench/bench_micro
+  python3 tools/perf_gate.py --bench ... --write-baseline BENCH_micro.json
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+THROUGHPUT = ["find_mops", "insert_mops", "mixed_mops"]
+PERSISTS = [
+    "find_persists_mode",
+    "insert_persists_mode",
+    "update_persists_mode",
+    "remove_persists_mode",
+]
+
+
+def load_meta(path):
+    with open(path) as f:
+        doc = json.load(f)
+    meta = doc.get("meta", doc)
+    missing = [k for k in ["calib_mops", *THROUGHPUT, *PERSISTS] if k not in meta]
+    if missing:
+        sys.exit(f"perf_gate: {path} is missing gate fields: {missing}")
+    return meta
+
+
+def run_gate(bench, reps, warm, seconds, extra):
+    """Run the gate `reps` times; return a meta dict of per-metric medians."""
+    runs = []
+    with tempfile.TemporaryDirectory() as td:
+        for i in range(reps):
+            out = Path(td) / f"gate{i}.json"
+            cmd = [
+                bench,
+                f"--gate-json={out}",
+                f"--gate-warm={warm}",
+                f"--gate-seconds={seconds}",
+                *extra,
+            ]
+            r = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+            sys.stdout.buffer.write(r.stdout)
+            if r.returncode != 0:
+                sys.exit(f"perf_gate: '{' '.join(cmd)}' exited {r.returncode}")
+            runs.append(load_meta(out))
+    meta = dict(runs[0])
+    for k in ["calib_mops", *THROUGHPUT]:
+        meta[k] = round(statistics.median(r[k] for r in runs), 4)
+    for k in PERSISTS:
+        vals = {r[k] for r in runs}
+        if len(vals) != 1:
+            sys.exit(f"perf_gate: {k} not reproducible across reps: {sorted(vals)}")
+    return meta
+
+
+def compare(base, cur, threshold):
+    ok = True
+    print(f"{'metric':<22}{'baseline':>12}{'current':>12}{'norm-ratio':>12}  verdict")
+    for k in THROUGHPUT:
+        base_ratio = base[k] / base["calib_mops"]
+        cur_ratio = cur[k] / cur["calib_mops"]
+        rel = cur_ratio / base_ratio
+        verdict = "ok"
+        if rel < 1.0 - threshold:
+            verdict = f"REGRESSION (>{threshold:.0%} below baseline)"
+            ok = False
+        print(f"{k:<22}{base[k]:>12.4f}{cur[k]:>12.4f}{rel:>12.3f}  {verdict}")
+    for k in PERSISTS:
+        verdict = "ok" if cur[k] == base[k] else "PERSIST-COUNT DRIFT"
+        if cur[k] != base[k]:
+            ok = False
+        print(f"{k:<22}{base[k]:>12}{cur[k]:>12}{'-':>12}  {verdict}")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", help="path to the bench_micro binary")
+    ap.add_argument("--compare", help="pre-recorded gate JSON instead of running")
+    ap.add_argument("--baseline", default="BENCH_micro.json")
+    ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--gate-warm", type=int, default=200000)
+    ap.add_argument("--gate-seconds", type=float, default=0.4)
+    ap.add_argument(
+        "--write-baseline",
+        metavar="OUT",
+        help="write the measured medians as a new baseline and exit 0",
+    )
+    args, extra = ap.parse_known_args()
+
+    if args.compare:
+        cur = load_meta(args.compare)
+    elif args.bench:
+        cur = run_gate(args.bench, args.reps, args.gate_warm, args.gate_seconds, extra)
+    else:
+        ap.error("need --bench or --compare")
+
+    if args.write_baseline:
+        cur.setdefault(
+            "provenance",
+            f"medians of {args.reps} gate runs via tools/perf_gate.py --write-baseline",
+        )
+        Path(args.write_baseline).write_text(
+            json.dumps({"meta": cur}, indent=2) + "\n"
+        )
+        print(f"perf_gate: wrote baseline {args.write_baseline}")
+        return 0
+
+    base = load_meta(args.baseline)
+    if base.get("schema") != cur.get("schema"):
+        sys.exit(
+            f"perf_gate: schema mismatch: baseline {base.get('schema')!r} "
+            f"vs current {cur.get('schema')!r} — re-record the baseline"
+        )
+    return 0 if compare(base, cur, args.threshold) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

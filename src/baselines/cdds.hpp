@@ -21,6 +21,7 @@
 
 #include "baselines/tree_shell.hpp"
 #include "common/cacheline.hpp"
+#include "common/status.hpp"
 #include "htm/version_lock.hpp"
 
 namespace rnt::baselines {
@@ -104,30 +105,36 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
     });
   }
 
-  bool insert(Key k, Value v) {
+  common::Status insert(Key k, Value v) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
-    if (leaf->find_live(k) >= 0) return false;
+    if (leaf->find_live(k) >= 0) return common::StatusCode::kKeyExists;
     leaf = ensure_space(leaf, k);
+    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
     insert_version(leaf, k, v);
     this->size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return common::OkStatus();
   }
 
-  bool update(Key k, Value v) {
+  common::Status update(Key k, Value v) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     int idx = leaf->find_live(k);
-    if (idx < 0) return false;
-    // Multi-version update: end the old version, insert a new one.
-    end_version(leaf, idx);
+    if (idx < 0) return common::StatusCode::kKeyAbsent;
+    // Multi-version update: secure space for the new version BEFORE retiring
+    // the old one, so an exhausted pool leaves the live entry intact.
     leaf = ensure_space(leaf, k);
+    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
+    idx = leaf->find_live(k);  // positions move under compaction/split
+    end_version(leaf, idx);
     insert_version(leaf, k, v);
-    return true;
+    return common::OkStatus();
   }
 
-  void upsert(Key k, Value v) {
-    if (!update(k, v)) (void)insert(k, v);
+  common::Status upsert(Key k, Value v) {
+    const common::Status u = update(k, v);
+    if (u || u.pool_exhausted()) return u;
+    return insert(k, v);
   }
 
   bool remove(Key k) {
@@ -213,17 +220,18 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
   }
 
   /// Guarantee a free slot, garbage-collecting or splitting as needed.
-  /// Returns the leaf covering @p k afterwards.
+  /// Returns the leaf covering @p k afterwards, or nullptr when a split is
+  /// required but the pool is exhausted (the leaf is left untouched).
   Leaf* ensure_space(Leaf* leaf, Key k) {
     if (leaf->count.load(std::memory_order_relaxed) < Leaf::kCap) return leaf;
     nvm::UndoSlot& undo = my_undo();
     leaf->vlock.lock();
-    leaf->vlock.set_split();
     const std::uint64_t live = leaf->live_count();
     const Leaf* src;
 
     if (live < Leaf::kCap / 2) {
-      // GC compaction: drop dead versions in place.
+      // GC compaction (allocation-free): drop dead versions in place.
+      leaf->vlock.set_split();
       this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       src = reinterpret_cast<const Leaf*>(undo.data);
@@ -235,9 +243,14 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
       return leaf;
     }
 
-    this->stats_.count_split();
+    // Pre-flight: sibling space before the splitting bit / undo logging.
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
+    if (new_off == 0) {
+      leaf->vlock.unlock();
+      return nullptr;
+    }
+    this->stats_.count_split();
+    leaf->vlock.set_split();
     begin_undo(undo, leaf, new_off);
     src = reinterpret_cast<const Leaf*>(undo.data);
 

@@ -20,6 +20,7 @@
 #include "baselines/tree_shell.hpp"
 #include "common/cacheline.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "htm/version_lock.hpp"
 
 namespace rnt::baselines {
@@ -103,9 +104,9 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
     });
   }
 
-  bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  bool update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  void upsert(Key k, Value v) { (void)modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
+  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
 
   bool remove(Key k) {
     for (;;) {
@@ -210,7 +211,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
 
   /// Selective concurrency: the WHOLE modify, including every flush, runs
   /// under the leaf lock (the design decision the paper's S3.4 critiques).
-  bool modify(Key k, Value v, Mode mode) {
+  common::Status modify(Key k, Value v, Mode mode) {
     for (;;) {
       epoch::Guard g = this->epochs_.pin();
       Leaf* leaf = locate(k);
@@ -223,20 +224,24 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       int existing = leaf->find_slot(k, bm);
       if (mode == Mode::kInsert && existing >= 0) {
         leaf->vlock.unlock();
-        return false;
+        return common::StatusCode::kKeyExists;
       }
       if (mode == Mode::kUpdate && existing < 0) {
         leaf->vlock.unlock();
-        return false;
+        return common::StatusCode::kKeyAbsent;
       }
       constexpr std::uint64_t kFullMask =
           Leaf::kLogCap >= 64 ? ~0ull : ((1ull << Leaf::kLogCap) - 1);
       const std::uint64_t free_mask = ~bm & kFullMask;
       if (free_mask == 0) {
         // No free position for the out-of-place write: split (splits keep
-        // the lock; find aborts meanwhile).
-        split_locked(leaf);
+        // the lock; find aborts meanwhile).  A full bitmap means 64 live
+        // entries — there is no compaction variant to fall back on, so an
+        // exhausted pool refuses the op with the leaf untouched (removes
+        // clear bits directly and free positions without allocating).
+        const common::Status s = split_locked(leaf);
         leaf->vlock.unlock_and_bump();
+        if (!s) return s;
         continue;
       }
       const int slot = __builtin_ctzll(free_mask);
@@ -255,12 +260,14 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       nvm::persist(&leaf->bitmap, sizeof(std::uint64_t));
       if (existing < 0) this->size_.fetch_add(1, std::memory_order_relaxed);
       leaf->vlock.unlock_and_bump();
-      return true;
+      return common::OkStatus();
     }
   }
 
-  /// Split under the held lock (undo-logged like the other trees).
-  void split_locked(Leaf* leaf) {
+  /// Split under the held lock (undo-logged like the other trees).  Returns
+  /// kPoolExhausted — with the leaf untouched — when no sibling can be
+  /// allocated.
+  common::Status split_locked(Leaf* leaf) {
     // Gather and sort live entries to choose the median.
     std::vector<Entry> live;
     std::uint64_t bm = leaf->bitmap.load(std::memory_order_relaxed);
@@ -272,10 +279,11 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
     std::sort(live.begin(), live.end(),
               [](const Entry& a, const Entry& b) { return a.key < b.key; });
 
+    // Pre-flight: sibling space before the splitting bit / undo logging.
+    const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
+    if (new_off == 0) return common::StatusCode::kPoolExhausted;
     nvm::UndoSlot& undo = my_undo();
     leaf->vlock.set_split();
-    const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
     this->stats_.count_split();
@@ -305,6 +313,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
     end_undo(undo);
     leaf->vlock.unset_split_and_bump();
     this->inner_.insert_split(split_key, leaf, nl);
+    return common::OkStatus();
   }
 
   static void fill(Leaf* dst, const std::vector<Entry>& live, std::size_t from,

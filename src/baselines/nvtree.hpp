@@ -21,6 +21,7 @@
 
 #include "baselines/tree_shell.hpp"
 #include "common/cacheline.hpp"
+#include "common/status.hpp"
 #include "htm/version_lock.hpp"
 
 namespace rnt::baselines {
@@ -124,30 +125,42 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
     });
   }
 
-  bool insert(Key k, Value v) { return modify(k, v, Leaf::kInsertLog, false); }
-  bool update(Key k, Value v) { return modify(k, v, Leaf::kInsertLog, true); }
-  void upsert(Key k, Value v) {
+  common::Status insert(Key k, Value v) {
+    return modify(k, v, Leaf::kInsertLog, false);
+  }
+  common::Status update(Key k, Value v) {
+    return modify(k, v, Leaf::kInsertLog, true);
+  }
+  common::Status upsert(Key k, Value v) {
     // Without conditional mode insert==update==append; with it, try both.
-    if (!opt_.conditional_write || !update(k, v)) (void)insert(k, v);
+    if (opt_.conditional_write) {
+      const common::Status u = update(k, v);
+      if (u || u.pool_exhausted()) return u;
+    }
+    return insert(k, v);
   }
 
-  bool remove(Key k) {
+  /// Remove appends a log entry, so (unlike the in-place trees) it consumes
+  /// space and can report kPoolExhausted on a full leaf in a full pool.
+  common::Status remove(Key k) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint64_t n = leaf->n_element.load(std::memory_order_relaxed);
     if (opt_.conditional_write) {
       const Entry* cur = leaf->newest(k, n);
-      if (cur == nullptr || cur->flag == Leaf::kRemoveLog) return false;
+      if (cur == nullptr || cur->flag == Leaf::kRemoveLog)
+        return common::StatusCode::kKeyAbsent;
     }
     if (n >= Leaf::kLogCap) {
       leaf = split(leaf, k);
+      if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
       n = leaf->n_element.load(std::memory_order_relaxed);
     }
     // Basic (non-conditional) NVTree appends the remove log blindly; the
     // size counter is then approximate, matching the original's semantics.
     append(leaf, n, Entry{Leaf::kRemoveLog, k, Value{}, 0});
     this->size_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return common::OkStatus();
   }
 
   std::optional<Value> find(Key k) const {
@@ -205,7 +218,7 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
     nvm::persist(&leaf->n_element, sizeof(std::uint64_t));
   }
 
-  bool modify(Key k, Value v, std::uint64_t flag, bool must_exist) {
+  common::Status modify(Key k, Value v, std::uint64_t flag, bool must_exist) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint64_t n = leaf->n_element.load(std::memory_order_relaxed);
@@ -213,11 +226,13 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
       // The ~19% overhead: a full existence scan before the append.
       const Entry* cur = leaf->newest(k, n);
       const bool exists = cur != nullptr && cur->flag == Leaf::kInsertLog;
-      if (must_exist && !exists) return false;
-      if (!must_exist && exists) return false;
+      if (must_exist && !exists) return common::StatusCode::kKeyAbsent;
+      if (!must_exist && exists) return common::StatusCode::kKeyExists;
     }
     if (n >= Leaf::kLogCap) {
       leaf = split(leaf, k);
+      // Exhausted and not compactable: leaf untouched, op cleanly refused.
+      if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
       n = leaf->n_element.load(std::memory_order_relaxed);
     }
     // In conditional mode the existence scan above makes this exact; the
@@ -225,13 +240,14 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
     // approximate (the original NVTree tracks no size at all).
     append(leaf, n, Entry{flag, k, v, 0});
     if (!must_exist) this->size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return common::OkStatus();
   }
 
   /// Split: gather + sort live entries (the slow part the paper calls out:
   /// "NVTree has to sort all data in the node before splitting"), then
   /// either compact in place (few live entries) or divide into two leaves.
-  /// Returns the leaf now covering @p k.
+  /// Returns the leaf now covering @p k, or nullptr when a real split is
+  /// needed but the pool cannot supply a sibling (the leaf is untouched).
   Leaf* split(Leaf* leaf, Key k) {
     std::vector<std::pair<Key, Value>> live;
     leaf->live_entries(leaf->n_element.load(std::memory_order_relaxed),
@@ -239,11 +255,11 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
     std::sort(live.begin(), live.end());
 
     nvm::UndoSlot& undo = my_undo();
-    leaf->vlock.lock();
-    leaf->vlock.set_split();
 
     if (live.size() < Leaf::kLogCap / 2) {
       // Compaction: rewrite the log area with only live inserts.
+      leaf->vlock.lock();
+      leaf->vlock.set_split();
       this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       rewrite(leaf, live, 0, live.size());
@@ -254,9 +270,13 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
       return beyond(leaf, k) ? locate(k) : leaf;
     }
 
-    this->stats_.count_split();
+    // Pre-flight: secure the sibling's space before the lock/splitting bit
+    // so exhaustion is detected while nothing has been mutated.
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
+    if (new_off == 0) return nullptr;
+    this->stats_.count_split();
+    leaf->vlock.lock();
+    leaf->vlock.set_split();
     begin_undo(undo, leaf, new_off);
 
     Leaf* nl = this->pool_.template ptr<Leaf>(new_off);

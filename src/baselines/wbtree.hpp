@@ -19,6 +19,7 @@
 
 #include "baselines/tree_shell.hpp"
 #include "common/cacheline.hpp"
+#include "common/status.hpp"
 #include "core/slot_util.hpp"
 #include "htm/version_lock.hpp"
 
@@ -106,9 +107,9 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     });
   }
 
-  bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  bool update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  void upsert(Key k, Value v) { (void)modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
+  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
 
   bool remove(Key k) {
     epoch::Guard g = this->epochs_.pin();
@@ -194,16 +195,21 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     nvm::persist(&leaf->valid, sizeof(std::uint64_t));
   }
 
-  bool modify(Key k, Value v, Mode mode) {
+  common::Status modify(Key k, Value v, Mode mode) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     int pos = core::slot_lower_bound(leaf->pslot, leaf->logs, k);
     bool exists = core::slot_match(leaf->pslot, leaf->logs, pos, k);
-    if (mode == Mode::kInsert && exists) return false;
-    if (mode == Mode::kUpdate && !exists) return false;
+    if (mode == Mode::kInsert && exists) return common::StatusCode::kKeyExists;
+    if (mode == Mode::kUpdate && !exists) return common::StatusCode::kKeyAbsent;
     std::uint32_t e = leaf->nlogs.load(std::memory_order_relaxed);
     if (e >= Leaf::kLogCap || leaf->pslot[0] >= core::kSlotCap) {
       leaf = split(leaf, k);
+      if (leaf == nullptr) {
+        // Exhausted and not compactable: nothing was mutated, the full
+        // leaf stays valid, the op reports the condition to the caller.
+        return common::StatusCode::kPoolExhausted;
+      }
       pos = core::slot_lower_bound(leaf->pslot, leaf->logs, k);
       exists = core::slot_match(leaf->pslot, leaf->logs, pos, k);
       e = leaf->nlogs.load(std::memory_order_relaxed);
@@ -225,18 +231,19 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     // Persist #4: revalidate.
     set_valid(leaf, 1);
     if (!exists) this->size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return common::OkStatus();
   }
 
   /// Same split/compaction discipline as RNTree (undo-logged).  Returns
-  /// the leaf covering @p k.
+  /// the leaf covering @p k, or nullptr when a real split is required but
+  /// the pool cannot supply a sibling (the leaf is left untouched).
   Leaf* split(Leaf* leaf, Key k) {
     nvm::UndoSlot& undo = my_undo();
     const int live = leaf->pslot[0];
-    leaf->vlock.lock();
-    leaf->vlock.set_split();
 
     if (live < static_cast<int>(core::kSlotCap) / 2) {
+      leaf->vlock.lock();
+      leaf->vlock.set_split();
       this->stats_.count_compaction();
       begin_undo(undo, leaf, 0);
       const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
@@ -248,9 +255,13 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
       return leaf;
     }
 
-    this->stats_.count_split();
+    // Pre-flight: secure the sibling's space before the lock/splitting bit
+    // so exhaustion is detected while nothing has been mutated.
     const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
+    if (new_off == 0) return nullptr;
+    this->stats_.count_split();
+    leaf->vlock.lock();
+    leaf->vlock.set_split();
     begin_undo(undo, leaf, new_off);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
 
@@ -380,9 +391,9 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
     });
   }
 
-  bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  bool update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  void upsert(Key k, Value v) { (void)modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
+  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
 
   bool remove(Key k) {
     epoch::Guard g = this->epochs_.pin();
@@ -448,17 +459,20 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
     nvm::persist(&leaf->slot_word, sizeof(std::uint64_t));
   }
 
-  bool modify(Key k, Value v, Mode mode) {
+  common::Status modify(Key k, Value v, Mode mode) {
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint8_t slot[8];
     Leaf::unpack(leaf->slot_word.load(std::memory_order_relaxed), slot);
     int pos = core::slot_lower_bound(slot, leaf->logs, k);
     bool exists = core::slot_match(slot, leaf->logs, pos, k);
-    if (mode == Mode::kInsert && exists) return false;
-    if (mode == Mode::kUpdate && !exists) return false;
+    if (mode == Mode::kInsert && exists) return common::StatusCode::kKeyExists;
+    if (mode == Mode::kUpdate && !exists) return common::StatusCode::kKeyAbsent;
     if (!exists && slot[0] >= Leaf::kLiveCap) {
       leaf = split(leaf, k);
+      // No compaction variant exists (7-entry leaves): a full pool fails
+      // the insert cleanly; updates of existing keys never reach here.
+      if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
       Leaf::unpack(leaf->slot_word.load(std::memory_order_relaxed), slot);
       pos = core::slot_lower_bound(slot, leaf->logs, k);
       exists = core::slot_match(slot, leaf->logs, pos, k);
@@ -475,17 +489,19 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
       core::slot_insert_at(slot, pos, static_cast<std::uint8_t>(free));
     publish_slot(leaf, slot);
     if (!exists) this->size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return common::OkStatus();
   }
 
-  /// Splits are frequent with 7-entry leaves — the paper's point.
+  /// Splits are frequent with 7-entry leaves — the paper's point.  Returns
+  /// nullptr (leaf untouched) when the pool cannot supply a sibling.
   Leaf* split(Leaf* leaf, Key k) {
+    // Pre-flight: sibling space before the lock/splitting bit.
+    const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
+    if (new_off == 0) return nullptr;
     this->stats_.count_split();
     nvm::UndoSlot& undo = my_undo();
     leaf->vlock.lock();
     leaf->vlock.set_split();
-    const std::uint64_t new_off = this->pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
 

@@ -1,0 +1,61 @@
+// Structured operation result for tree write paths.
+//
+// Tree mutations used to report plain bool ("did the conditional op apply?")
+// and threw std::bad_alloc from arbitrary call sites — including inside
+// locked critical sections — when the pool filled.  Status keeps the boolean
+// meaning at every existing call site (operator bool is true exactly when
+// the operation applied) while adding a distinguishable, non-throwing
+// exhaustion outcome that propagates PmemPool::alloc failure up through log
+// append / leaf split / insert without abandoning a half-mutated tree.
+//
+// Conversion contract: `if (tree.insert(k, v))` and `insert(...) != expect`
+// keep working unchanged; callers that care WHY an op did not apply switch
+// on code().  kPoolExhausted is falsy (the op did not apply) but, unlike
+// kKeyExists/kKeyAbsent, the logical outcome is "retry after freeing space",
+// not "precondition failed".
+#pragma once
+
+#include <cstdint>
+
+namespace rnt::common {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,          ///< operation applied
+  kKeyExists = 1,   ///< conditional insert: key already present
+  kKeyAbsent = 2,   ///< conditional update/remove: key not present
+  kPoolExhausted = 3,  ///< pool has no space for a required allocation
+};
+
+class Status {
+ public:
+  constexpr Status() noexcept = default;
+  constexpr Status(StatusCode code) noexcept : code_(code) {}  // NOLINT: implicit by design
+
+  /// True iff the operation applied — matches the legacy bool return.
+  constexpr operator bool() const noexcept { return code_ == StatusCode::kOk; }
+
+  constexpr StatusCode code() const noexcept { return code_; }
+  constexpr bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  constexpr bool pool_exhausted() const noexcept {
+    return code_ == StatusCode::kPoolExhausted;
+  }
+
+  constexpr bool operator==(const Status& other) const noexcept = default;
+
+  const char* message() const noexcept {
+    switch (code_) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kKeyExists: return "key exists";
+      case StatusCode::kKeyAbsent: return "key absent";
+      case StatusCode::kPoolExhausted: return "pool exhausted";
+    }
+    return "unknown";
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+};
+
+constexpr Status OkStatus() noexcept { return Status(StatusCode::kOk); }
+
+}  // namespace rnt::common

@@ -38,9 +38,11 @@
 #include <vector>
 
 #include "common/hints.hpp"
+#include "common/status.hpp"
 #include "common/thread_id.hpp"
 #include "core/rn_leaf.hpp"
 #include "epoch/ebr.hpp"
+#include "htm/rtm.hpp"
 #include "inner/inner_tree.hpp"
 #include "nvm/pool.hpp"
 #include "obs/metrics.hpp"
@@ -167,14 +169,20 @@ class RNTree {
   // Basic operations
   // ------------------------------------------------------------------
 
-  /// Conditional insert: fails (returns false) if the key already exists.
-  bool insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
+  // Write operations return common::Status.  Status converts to bool with
+  // the legacy meaning (true iff the op applied), so `if (t.insert(k, v))`
+  // call sites are unchanged; code() additionally distinguishes a failed
+  // precondition (kKeyExists/kKeyAbsent) from kPoolExhausted — the pool has
+  // no room for a required leaf split and the op left the tree untouched.
 
-  /// Conditional update: fails if the key does not exist.
-  bool update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+  /// Conditional insert: fails (kKeyExists) if the key already exists.
+  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
 
-  /// Unconditional insert-or-update.
-  void upsert(Key k, Value v) { (void)modify(k, v, Mode::kUpsert); }
+  /// Conditional update: fails (kKeyAbsent) if the key does not exist.
+  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
+
+  /// Unconditional insert-or-update (can still fail with kPoolExhausted).
+  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
 
   /// Remove; returns false if the key was absent.  A single persistent
   /// instruction (the slot-array flush) — no log entry is consumed.
@@ -417,9 +425,13 @@ class RNTree {
     // update re-points a slot at a new log entry for the same key): skip the
     // self-copy but keep the seqlock windows identical.
     if (!opt_.dual_slot) leaf->mseq.write_begin();
-    nvm::htm_tx_begin();
-    nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize);
-    nvm::htm_tx_commit();
+    // The leaf lock is held, so the exclusive HTM variant applies: no
+    // fallback lock to subscribe to, and injected aborts exercise the retry
+    // policy on this path too.  The persist stays OUTSIDE the transaction
+    // (a flush inside an RTM transaction aborts it; the shadow asserts the
+    // equivalent).
+    htm::atomic_exec_excl(
+        [&]() { nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize); });
     nvm::persist(leaf->pslot, kCacheLineSize);
     if (!opt_.dual_slot) {
       if (fnew != leaf->fps) std::memcpy(leaf->fps, fnew, kCacheLineSize);
@@ -466,7 +478,7 @@ class RNTree {
     }
   };
 
-  bool modify(Key k, Value v, Mode mode) {
+  common::Status modify(Key k, Value v, Mode mode) {
     obs::OpTrace tr(mode == Mode::kInsert   ? obs::OpKind::kInsert
                     : mode == Mode::kUpdate ? obs::OpKind::kUpdate
                                             : obs::OpKind::kUpsert,
@@ -477,6 +489,17 @@ class RNTree {
       leaf = chase(leaf, k);
       prefetch_range(leaf, sizeof(Leaf));  // overlap fetch with the KV flush
       const std::uint64_t ver = leaf->vlock.stable_version();
+
+      // Pre-flight reservation: when this op is likely to fill the leaf and
+      // trigger a split, secure the sibling's space BEFORE taking the lock
+      // or publishing anything, so an exhausted pool is discovered while
+      // backing out costs nothing.  nlogs is a conservative (racy but
+      // atomic) fullness hint; if it under-estimates, split_locked falls
+      // back to allocating under the lock — still before any mutation.  An
+      // unconsumed reservation returns its block on every loop exit.
+      nvm::PmemPool::Reservation res;
+      if (leaf->nlogs.load(std::memory_order_relaxed) >= Leaf::kLogCap - 2)
+        res = pool_.reserve(sizeof(Leaf));
 
       // Announce this in-flight log write so a concurrent split quiesces
       // before reusing log indices.  seq_cst pairs with the splitter's
@@ -493,7 +516,15 @@ class RNTree {
       const std::uint32_t e = allocate_entry(leaf);
       if (e == kNoEntry) {
         wref.release();
-        force_split(leaf);
+        const common::Status fs = force_split(leaf, &res);
+        if (fs.pool_exhausted()) {
+          // The log area is full, the leaf is mostly live (compaction does
+          // not apply), and there is no room for a sibling: the op cannot
+          // proceed.  Nothing was mutated — fail cleanly instead of
+          // spinning on a split that can never happen.
+          tr.finish(false);
+          return fs;
+        }
         stats_.count_modify_restart();
         continue;
       }
@@ -526,12 +557,31 @@ class RNTree {
           (mode == Mode::kUpdate && !exists)) {
         // Conditional write fails with no extra cost: the slot array told
         // us (the paper's S3.3 argument) — the allocated entry is leaked
-        // until the next compaction.
+        // until the next compaction.  A failed (exhausted) split here is
+        // deferred: the op's own outcome is unaffected and the full leaf
+        // stays valid until space frees up.
         leaf->plogs++;
         const bool full = leaf->plogs >= Leaf::kLogCap - 1;
-        if (full) split_locked(leaf);
+        if (full) (void)split_locked(leaf, &res);
         leaf->vlock.unlock();
-        return tr.finish(false);
+        tr.finish(false);
+        return mode == Mode::kInsert ? common::StatusCode::kKeyExists
+                                     : common::StatusCode::kKeyAbsent;
+      }
+      if (!exists && leaf->pslot[0] >= kSlotCap) {
+        // An earlier split was deferred by exhaustion and the slot line is
+        // at capacity: publishing one more entry would overflow it.  The
+        // publish-then-split order must invert here — split first, and if
+        // space still cannot be found, refuse the insert (our log entry is
+        // abandoned, reclaimed by the next compaction like any leaked one).
+        const common::Status ss = split_locked(leaf, &res);
+        leaf->vlock.unlock();
+        if (ss.pool_exhausted()) {
+          tr.finish(false);
+          return ss;
+        }
+        stats_.count_modify_restart();
+        continue;  // the split bumped the version: re-locate and retry
       }
       alignas(kCacheLineSize) std::uint8_t snew[kCacheLineSize];
       alignas(kCacheLineSize) std::uint8_t fnew[kCacheLineSize];
@@ -549,37 +599,51 @@ class RNTree {
       publish_slot(leaf, snew, fpub);
       leaf->plogs++;
       if (!exists) size_.fetch_add(1, std::memory_order_relaxed);
+      // The op itself is already durable and acknowledged; an exhausted
+      // split is deferred, not an error.
       if (leaf->plogs >= Leaf::kLogCap - 1 || snew[0] >= kSlotCap)
-        split_locked(leaf);
+        (void)split_locked(leaf, &res);
       leaf->vlock.unlock();
-      return tr.finish(true);
+      tr.finish(true);
+      return common::OkStatus();
     }
   }
 
   /// The log area filled before plogs hit the threshold (entries leaked by
   /// races/conditional failures): split under the lock, then retry.
-  void force_split(Leaf* leaf) {
+  common::Status force_split(Leaf* leaf, nvm::PmemPool::Reservation* res) {
+    common::Status s = common::OkStatus();
     leaf->vlock.lock();
     if (leaf->nlogs.load(std::memory_order_relaxed) >= Leaf::kLogCap)
-      split_locked(leaf);
+      s = split_locked(leaf, res);
     leaf->vlock.unlock();
+    return s;
   }
 
-  /// Alg 3 + the shrink variant.  Caller holds the leaf lock.
-  void split_locked(Leaf* leaf) {
+  /// Alg 3 + the shrink variant.  Caller holds the leaf lock.  Returns
+  /// kPoolExhausted — with the leaf untouched and still valid — when a real
+  /// split is needed but no sibling can be allocated; the shrink variant
+  /// needs no allocation and always succeeds.
+  common::Status split_locked(Leaf* leaf,
+                              nvm::PmemPool::Reservation* res = nullptr) {
     const int live = leaf->pslot[0];
     if (live < static_cast<int>(kSlotCap) / 2) {
       compact_locked(leaf);
-      return;
+      return common::OkStatus();
     }
+    // Secure the sibling's space first — from the caller's pre-flight
+    // reservation when it holds one, else a direct allocation — so failure
+    // happens before the splitting bit, the quiesce, or any mutation.
+    const std::uint64_t new_off = (res != nullptr && res->valid())
+                                      ? res->consume()
+                                      : pool_.alloc(sizeof(Leaf));
+    if (new_off == 0) return common::StatusCode::kPoolExhausted;
     stats_.count_split();
     leaf->vlock.set_split();
     quiesce_writers(leaf);
 
     // Log the whole leaf to this thread's persistent undo slot.
     nvm::UndoSlot& undo = pool_.undo_slot(pmem_thread_id());
-    const std::uint64_t new_off = pool_.alloc(sizeof(Leaf));
-    if (new_off == 0) throw std::bad_alloc();
     begin_undo(undo, leaf, new_off);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
 
@@ -635,6 +699,7 @@ class RNTree {
 
     leaf->vlock.unset_split_and_bump();
     inner_.insert_split(split_key, leaf, nl);
+    return common::OkStatus();
   }
 
   /// Shrink-split: obsolete log entries dominate; compact in place.

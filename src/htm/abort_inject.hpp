@@ -1,0 +1,165 @@
+// Deterministic HTM abort injection.
+//
+// The RTM retry -> backoff -> fallback state machine in atomic_exec is only
+// ever exercised on TSX hardware; CI machines take the fallback lock on the
+// first attempt and the whole policy surface (capacity aborts, conflict
+// backoff, lock-subscription waits) goes untested.  An AbortInjector makes
+// the machine run deterministically anywhere: when one is installed,
+// atomic_exec consults it before each attempt and treats a returned cause
+// exactly like the corresponding hardware abort — same policy decisions,
+// same counters (plus htm.inject.* attribution) — while the "committed"
+// attempt executes under the fallback lock for real mutual exclusion.
+//
+// Hot-path cost with no injector installed: one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rnt::htm {
+
+/// Abort causes an injector can simulate, mirroring the RTM status bits plus
+/// the lock-elision idiom's explicit subscription abort.
+enum class AbortCause : std::uint8_t {
+  kConflict = 0,          ///< read/write-set conflict (retry with backoff)
+  kCapacity = 1,          ///< write set overflow (retrying is hopeless)
+  kSpurious = 2,          ///< interrupt/page-fault/etc (limited retries)
+  kLockSubscription = 3,  ///< fallback lock was held when the tx started
+};
+
+inline const char* to_string(AbortCause c) noexcept {
+  switch (c) {
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kSpurious: return "spurious";
+    case AbortCause::kLockSubscription: return "lock_subscription";
+  }
+  return "unknown";
+}
+
+/// Schedulable abort source.  on_attempt is called once per retry attempt
+/// (0-based within one atomic_exec invocation); returning a cause makes that
+/// attempt abort with it, returning nullopt lets the attempt "commit".
+/// Implementations must be thread-safe: concurrent atomic_exec callers share
+/// one installed injector.
+class AbortInjector {
+ public:
+  virtual ~AbortInjector() = default;
+  virtual std::optional<AbortCause> on_attempt(int attempt) = 0;
+};
+
+namespace detail {
+extern std::atomic<AbortInjector*> g_abort_injector;
+}  // namespace detail
+
+/// Currently installed injector (nullptr when none).  Relaxed load — this is
+/// the only cost injection adds to the uninstrumented hot path.
+inline AbortInjector* abort_injector() noexcept {
+  return detail::g_abort_injector.load(std::memory_order_relaxed);
+}
+
+/// Install @p inj process-wide (nullptr uninstalls).  Returns the previous
+/// injector.  Not synchronized against in-flight atomic_exec calls; install
+/// while the tree is quiescent or from the owning test thread.
+AbortInjector* install_abort_injector(AbortInjector* inj) noexcept;
+
+/// Deterministic script: attempt i aborts with script[i]; attempts past the
+/// end of the script commit.  Stateless across retry machines, so every
+/// atomic_exec in scope replays the same schedule — ideal for matrix tests.
+class ScriptedAbortInjector final : public AbortInjector {
+ public:
+  explicit ScriptedAbortInjector(std::vector<AbortCause> script)
+      : script_(std::move(script)) {}
+
+  std::optional<AbortCause> on_attempt(int attempt) override {
+    if (attempt >= 0 && static_cast<std::size_t>(attempt) < script_.size()) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return script_[static_cast<std::size_t>(attempt)];
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<AbortCause> script_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// Seeded random aborts: each attempt aborts with probability
+/// @p abort_permille / 1000, cause drawn from @p Weights.  The generator is
+/// a shared atomic splitmix64 stream, so it is thread-safe and the sequence
+/// of draws (though not their assignment to threads) is seed-deterministic.
+class RandomAbortInjector final : public AbortInjector {
+ public:
+  struct Weights {
+    std::uint32_t conflict = 6;
+    std::uint32_t capacity = 1;
+    std::uint32_t spurious = 2;
+    std::uint32_t lock_subscription = 1;
+  };
+
+  RandomAbortInjector(std::uint64_t seed, std::uint32_t abort_permille)
+      : RandomAbortInjector(seed, abort_permille, Weights{}) {}
+
+  RandomAbortInjector(std::uint64_t seed, std::uint32_t abort_permille,
+                      Weights weights)
+      : state_(seed), permille_(abort_permille > 1000 ? 1000 : abort_permille),
+        weights_(weights) {
+    total_weight_ = weights_.conflict + weights_.capacity + weights_.spurious +
+                    weights_.lock_subscription;
+    if (total_weight_ == 0) {
+      weights_ = Weights{};
+      total_weight_ = weights_.conflict + weights_.capacity + weights_.spurious +
+                      weights_.lock_subscription;
+    }
+  }
+
+  std::optional<AbortCause> on_attempt(int /*attempt*/) override {
+    const std::uint64_t r = next();
+    if (r % 1000 >= permille_) return std::nullopt;
+    std::uint64_t pick = (r >> 10) % total_weight_;
+    if (pick < weights_.conflict) return AbortCause::kConflict;
+    pick -= weights_.conflict;
+    if (pick < weights_.capacity) return AbortCause::kCapacity;
+    pick -= weights_.capacity;
+    if (pick < weights_.spurious) return AbortCause::kSpurious;
+    return AbortCause::kLockSubscription;
+  }
+
+ private:
+  std::uint64_t next() noexcept {  // splitmix64 over a shared atomic stream
+    std::uint64_t z =
+        state_.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed) +
+        0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::atomic<std::uint64_t> state_;
+  std::uint32_t permille_;
+  Weights weights_;
+  std::uint64_t total_weight_;
+};
+
+/// RAII installer: installs in the constructor, restores the previous
+/// injector in the destructor.  Exception-safe scoping for tests.
+class ScopedAbortInjector {
+ public:
+  explicit ScopedAbortInjector(AbortInjector* inj)
+      : prev_(install_abort_injector(inj)) {}
+  ~ScopedAbortInjector() { install_abort_injector(prev_); }
+  ScopedAbortInjector(const ScopedAbortInjector&) = delete;
+  ScopedAbortInjector& operator=(const ScopedAbortInjector&) = delete;
+
+ private:
+  AbortInjector* prev_;
+};
+
+}  // namespace rnt::htm

@@ -28,6 +28,16 @@ struct HtmMetricIds {
   obs::MetricId fallbacks = obs::register_metric("htm.fallbacks", obs::Kind::kCounter);
   obs::MetricId lock_acquisitions =
       obs::register_metric("htm.lock_acquisitions", obs::Kind::kCounter);
+  obs::MetricId lock_wait_timeouts =
+      obs::register_metric("htm.lock_wait_timeouts", obs::Kind::kCounter);
+  obs::MetricId injected_conflict =
+      obs::register_metric("htm.inject.conflict", obs::Kind::kCounter);
+  obs::MetricId injected_capacity =
+      obs::register_metric("htm.inject.capacity", obs::Kind::kCounter);
+  obs::MetricId injected_spurious =
+      obs::register_metric("htm.inject.spurious", obs::Kind::kCounter);
+  obs::MetricId injected_lock_subscription =
+      obs::register_metric("htm.inject.lock_subscription", obs::Kind::kCounter);
 };
 
 const HtmMetricIds& metric_ids() {
@@ -48,6 +58,12 @@ struct TlsEntry {
     obs::attach_cell(ids.aborts_other, &stats.aborts_other);
     obs::attach_cell(ids.fallbacks, &stats.fallbacks);
     obs::attach_cell(ids.lock_acquisitions, &stats.lock_acquisitions);
+    obs::attach_cell(ids.lock_wait_timeouts, &stats.lock_wait_timeouts);
+    obs::attach_cell(ids.injected_conflict, &stats.injected_conflict);
+    obs::attach_cell(ids.injected_capacity, &stats.injected_capacity);
+    obs::attach_cell(ids.injected_spurious, &stats.injected_spurious);
+    obs::attach_cell(ids.injected_lock_subscription,
+                     &stats.injected_lock_subscription);
   }
   ~TlsEntry() {
     const HtmMetricIds& ids = metric_ids();
@@ -58,6 +74,12 @@ struct TlsEntry {
     obs::detach_cell(ids.aborts_other, &stats.aborts_other);
     obs::detach_cell(ids.fallbacks, &stats.fallbacks);
     obs::detach_cell(ids.lock_acquisitions, &stats.lock_acquisitions);
+    obs::detach_cell(ids.lock_wait_timeouts, &stats.lock_wait_timeouts);
+    obs::detach_cell(ids.injected_conflict, &stats.injected_conflict);
+    obs::detach_cell(ids.injected_capacity, &stats.injected_capacity);
+    obs::detach_cell(ids.injected_spurious, &stats.injected_spurious);
+    obs::detach_cell(ids.injected_lock_subscription,
+                     &stats.injected_lock_subscription);
   }
 };
 
@@ -78,7 +100,26 @@ HtmStats aggregate_htm_stats() {
   out.aborts_other = obs::counter_value(ids.aborts_other);
   out.fallbacks = obs::counter_value(ids.fallbacks);
   out.lock_acquisitions = obs::counter_value(ids.lock_acquisitions);
+  out.lock_wait_timeouts = obs::counter_value(ids.lock_wait_timeouts);
+  out.injected_conflict = obs::counter_value(ids.injected_conflict);
+  out.injected_capacity = obs::counter_value(ids.injected_capacity);
+  out.injected_spurious = obs::counter_value(ids.injected_spurious);
+  out.injected_lock_subscription =
+      obs::counter_value(ids.injected_lock_subscription);
   return out;
+}
+
+RetryPolicy& default_retry_policy() noexcept {
+  static RetryPolicy policy;
+  return policy;
+}
+
+namespace detail {
+std::atomic<AbortInjector*> g_abort_injector{nullptr};
+}  // namespace detail
+
+AbortInjector* install_abort_injector(AbortInjector* inj) noexcept {
+  return detail::g_abort_injector.exchange(inj, std::memory_order_acq_rel);
 }
 
 bool rtm_supported() noexcept {

@@ -8,14 +8,28 @@
 //     needs deterministic execution) it runs fn() under the fallback lock,
 //     bracketed by nvm::htm_tx_begin/commit so the crash simulator models
 //     RTM's "speculative stores never reach memory" guarantee.
+//   * When an AbortInjector is installed (htm/abort_inject.hpp) the retry
+//     machine runs against injected aborts instead, so the full
+//     retry -> backoff -> fallback policy executes deterministically on any
+//     host.  The "committed" attempt runs under the fallback lock for real
+//     mutual exclusion.
+//
+// Abort handling is governed by RetryPolicy: capacity aborts fall back
+// immediately (the write set will never fit), conflicts retry under bounded
+// exponential backoff, spurious aborts get a small retry budget, and waiting
+// for a held fallback lock is bounded by a starvation cap (counted in
+// htm.lock_wait_timeouts) instead of the unbounded spin it used to be —
+// a stalled lock holder degrades us to the pessimistic path, never livelock.
 //
 // The RTM intrinsics live in rtm.cpp, the only TU compiled with -mrtm, so
 // the rest of the library builds and runs on any x86-64.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 
+#include "htm/abort_inject.hpp"
 #include "htm/spinlock.hpp"
 #include "nvm/persist.hpp"
 
@@ -33,6 +47,13 @@ struct HtmStats {
   std::uint64_t aborts_other = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t lock_acquisitions = 0;  ///< fallback-lock critical sections
+  std::uint64_t lock_wait_timeouts = 0;  ///< bounded lock-waits that hit the cap
+  // Injected-abort attribution (htm.inject.*): how many of the abort counts
+  // above were manufactured by the installed AbortInjector.
+  std::uint64_t injected_conflict = 0;
+  std::uint64_t injected_capacity = 0;
+  std::uint64_t injected_spurious = 0;
+  std::uint64_t injected_lock_subscription = 0;
   void reset() noexcept { *this = {}; }
 };
 
@@ -44,30 +65,224 @@ HtmStats aggregate_htm_stats();
 /// True when this CPU executes RTM transactions (CPUID leaf 7 EBX bit 11).
 bool rtm_supported() noexcept;
 
-#if defined(RNTREE_HAVE_RTM)
+/// Cause-aware retry policy for the HTM state machine.
+///   * capacity abort        -> immediate fallback (never retried)
+///   * conflict abort        -> retry with bounded exponential backoff
+///   * spurious abort        -> at most max_spurious_retries retries
+///   * lock-subscription     -> bounded wait for the lock, then retry
+/// All attempts are bounded by max_attempts; waiting for the fallback lock
+/// is bounded by lock_wait_pauses Backoff::pause() calls (each pause spins
+/// an exponentially growing, capped number of cpu_relax iterations), after
+/// which the waiter records htm.lock_wait_timeouts and escalates instead of
+/// spinning forever behind a stalled lock holder.
+struct RetryPolicy {
+  int max_attempts = 10;
+  int max_spurious_retries = 2;
+  std::uint32_t lock_wait_pauses = 64;
+};
+
+/// Process-wide default policy.  Mutable so tests/benches can tighten knobs;
+/// mutate only while no atomic_exec is in flight.
+RetryPolicy& default_retry_policy() noexcept;
+
 namespace detail {
+
+/// Brackets a simulated transaction (ShadowPool modelling of RTM's
+/// "speculative stores never reach memory") with commit-on-unwind.  The
+/// software paths execute fn's stores for real, so if fn throws the stores
+/// have happened and the simulated transaction must still close — leaving it
+/// open would wrongly quarantine every later store of the thread as
+/// speculative.  During a simulated CrashPoint unwind the ShadowPool has
+/// already marked itself crashed and tx_commit() is a no-op, so in-flight
+/// speculative lines are correctly discarded by the crash.
+class TxGuard {
+ public:
+  TxGuard() noexcept { nvm::htm_tx_begin(); }
+  ~TxGuard() { nvm::htm_tx_commit(); }
+  TxGuard(const TxGuard&) = delete;
+  TxGuard& operator=(const TxGuard&) = delete;
+};
+
+/// Wait for @p fallback to be released, bounded by the policy's starvation
+/// cap.  Returns true when the lock was observed free, false on timeout
+/// (counted in htm.lock_wait_timeouts).
+inline bool bounded_lock_wait(SpinLock& fallback, const RetryPolicy& policy,
+                              HtmStats& st) noexcept {
+  Backoff bo;
+  for (std::uint32_t waited = 0; fallback.is_locked(); ++waited) {
+    if (waited >= policy.lock_wait_pauses) {
+      ++st.lock_wait_timeouts;
+      return false;
+    }
+    bo.pause();
+  }
+  return true;
+}
+
+/// Injected retry machine: one simulated HTM attempt loop driven by the
+/// installed AbortInjector.  Returns true when an attempt "committed" (fn
+/// ran, under @p fallback if provided); false when the policy demands the
+/// caller's fallback path.
+template <typename Fn>
+bool run_injected(AbortInjector& inj, SpinLock* fallback, Fn& fn,
+                  const RetryPolicy& policy, HtmStats& st) {
+  Backoff conflict_bo;
+  int spurious = 0;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++st.attempts;
+    const std::optional<AbortCause> cause = inj.on_attempt(attempt);
+    if (!cause.has_value()) {
+      // Simulated commit: mutual exclusion comes from the fallback lock
+      // (the attempt cannot execute speculatively), durability modelling
+      // from the simulated transaction bracket.
+      if (fallback != nullptr) {
+        SpinGuard g(*fallback);
+        TxGuard tx;
+        fn();
+      } else {
+        TxGuard tx;
+        fn();
+      }
+      ++st.commits;
+      return true;
+    }
+    switch (*cause) {
+      case AbortCause::kCapacity:
+        ++st.aborts_capacity;
+        ++st.injected_capacity;
+        return false;  // the write set will never fit; fall back now
+      case AbortCause::kConflict:
+        ++st.aborts_conflict;
+        ++st.injected_conflict;
+        conflict_bo.pause();  // bounded exponential backoff
+        break;
+      case AbortCause::kSpurious:
+        ++st.aborts_other;
+        ++st.injected_spurious;
+        if (++spurious > policy.max_spurious_retries) return false;
+        break;
+      case AbortCause::kLockSubscription:
+        ++st.aborts_other;
+        ++st.injected_lock_subscription;
+        if (fallback != nullptr) bounded_lock_wait(*fallback, policy, st);
+        break;
+    }
+  }
+  return false;
+}
+
+#if defined(RNTREE_HAVE_RTM)
 inline constexpr unsigned kXBeginStarted = ~0u;
+inline constexpr unsigned kAbortExplicit = 1u << 0;
 inline constexpr unsigned kAbortRetry = 1u << 1;
 inline constexpr unsigned kAbortConflict = 1u << 2;
 inline constexpr unsigned kAbortCapacity = 1u << 3;
-unsigned xbegin() noexcept;   // compiled with -mrtm in rtm.cpp
+/// xabort code used for the fallback-lock subscription abort.
+inline constexpr unsigned kSubscriptionCode = 0xffu;
+unsigned xbegin() noexcept;  // compiled with -mrtm in rtm.cpp
 void xend() noexcept;
 void xabort_conflict() noexcept;
-}  // namespace detail
+
+/// Real-hardware retry machine.  Returns true on commit, false when the
+/// policy demands the fallback lock.
+template <typename Fn>
+bool run_rtm(SpinLock& fallback, Fn& fn, const RetryPolicy& policy,
+             HtmStats& st) {
+  Backoff conflict_bo;
+  int spurious = 0;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++st.attempts;
+    const unsigned status = xbegin();
+    if (status == kXBeginStarted) {
+      // Subscribe to the fallback lock: abort if a pessimistic writer is
+      // active and pull the lock word into the read set so its release
+      // aborts us (standard lock-elision idiom).
+      if (fallback.is_locked()) xabort_conflict();
+      fn();
+      xend();
+      ++st.commits;
+      return true;
+    }
+    if ((status & kAbortCapacity) != 0) {
+      ++st.aborts_capacity;
+      return false;  // will not fit; go straight to the lock
+    }
+    if ((status & kAbortExplicit) != 0 &&
+        ((status >> 24) & 0xffu) == kSubscriptionCode) {
+      // Our own subscription abort: wait (bounded) for the lock holder,
+      // then retry; does not consume the spurious budget.
+      ++st.aborts_other;
+      bounded_lock_wait(fallback, policy, st);
+      continue;
+    }
+    if ((status & kAbortConflict) != 0) {
+      ++st.aborts_conflict;
+      conflict_bo.pause();  // bounded exponential backoff
+    } else {
+      ++st.aborts_other;
+      if ((status & kAbortRetry) == 0 && ++spurious > policy.max_spurious_retries)
+        return false;
+    }
+    if (fallback.is_locked()) bounded_lock_wait(fallback, policy, st);
+  }
+  return false;
+}
 #endif
+
+}  // namespace detail
 
 /// Execute @p fn atomically w.r.t. every other atomic_exec on the same
 /// @p fallback lock and w.r.t. readers using seqlock validation.
 template <typename Fn>
-void atomic_exec(SpinLock& fallback, Fn&& fn, int max_retries = 10) {
+void atomic_exec(SpinLock& fallback, Fn&& fn,
+                 const RetryPolicy& policy = default_retry_policy()) {
   HtmStats& st = tls_htm_stats();
+  if (AbortInjector* inj = abort_injector()) {
+    if (detail::run_injected(*inj, &fallback, fn, policy, st)) return;
+    ++st.fallbacks;
+  }
+#if defined(RNTREE_HAVE_RTM)
+  else if (rtm_supported() && nvm::shadow_active() == nullptr) {
+    if (detail::run_rtm(fallback, fn, policy, st)) return;
+    ++st.fallbacks;
+  }
+#endif
+  SpinGuard g(fallback);
+  ++st.lock_acquisitions;
+  detail::TxGuard tx;  // commit-or-abort on unwind (exception safety)
+  std::forward<Fn>(fn)();
+  ++st.commits;
+}
+
+/// Variant for callers that already hold an exclusive lock covering @p fn's
+/// write set (e.g. a leaf version-lock held across a slot publish): no
+/// fallback lock exists or is needed — writers are excluded by the caller's
+/// lock and readers validate via seqlock.  On TSX hardware fn runs inside a
+/// real RTM transaction (plain execution once the retry budget is spent);
+/// under an installed AbortInjector the injected retry machine runs; on the
+/// plain software path this is exactly the htm_tx_begin/fn/htm_tx_commit
+/// bracket it replaces (one relaxed injector load of added cost).
+template <typename Fn>
+void atomic_exec_excl(Fn&& fn,
+                      const RetryPolicy& policy = default_retry_policy()) {
+  if (AbortInjector* inj = abort_injector()) {
+    HtmStats& st = tls_htm_stats();
+    if (detail::run_injected(*inj, nullptr, fn, policy, st)) return;
+    ++st.fallbacks;
+    detail::TxGuard tx;
+    std::forward<Fn>(fn)();
+    ++st.commits;
+    return;
+  }
 #if defined(RNTREE_HAVE_RTM)
   if (rtm_supported() && nvm::shadow_active() == nullptr) {
-    for (int attempt = 0; attempt < max_retries; ++attempt) {
+    HtmStats& st = tls_htm_stats();
+    Backoff conflict_bo;
+    int spurious = 0;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
       ++st.attempts;
       const unsigned status = detail::xbegin();
       if (status == detail::kXBeginStarted) {
-        if (fallback.is_locked()) detail::xabort_conflict();
         fn();
         detail::xend();
         ++st.commits;
@@ -75,26 +290,26 @@ void atomic_exec(SpinLock& fallback, Fn&& fn, int max_retries = 10) {
       }
       if ((status & detail::kAbortCapacity) != 0) {
         ++st.aborts_capacity;
-        break;  // will not fit; go straight to the lock
+        break;
       }
-      if ((status & detail::kAbortConflict) != 0)
+      if ((status & detail::kAbortConflict) != 0) {
         ++st.aborts_conflict;
-      else
+        conflict_bo.pause();
+      } else {
         ++st.aborts_other;
-      if ((status & detail::kAbortRetry) == 0 && attempt >= 2) break;
-      Backoff bo;
-      bo.pause();
-      while (fallback.is_locked()) bo.pause();  // wait out the lock holder
+        if ((status & detail::kAbortRetry) == 0 &&
+            ++spurious > policy.max_spurious_retries)
+          break;
+      }
     }
     ++st.fallbacks;
+    fn();  // caller's exclusive lock makes plain execution safe
+    ++st.commits;
+    return;
   }
 #endif
-  SpinGuard g(fallback);
-  ++st.lock_acquisitions;
-  nvm::htm_tx_begin();
+  detail::TxGuard tx;
   std::forward<Fn>(fn)();
-  nvm::htm_tx_commit();
-  ++st.commits;
 }
 
 }  // namespace rnt::htm

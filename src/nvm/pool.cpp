@@ -28,6 +28,11 @@ struct PoolCounters {
   obs::Counter cache_refills{"pool.cache_refills"};
   obs::Counter cache_folds{"pool.cache_folds"};
   obs::Gauge bytes_used{"pool.bytes_used"};
+  // Pre-flight reservation protocol (graceful-exhaustion write paths).
+  obs::Counter reserve_acquired{"pool.reserve.acquired"};
+  obs::Counter reserve_failed{"pool.reserve.failed"};
+  obs::Counter reserve_consumed{"pool.reserve.consumed"};
+  obs::Counter reserve_returned{"pool.reserve.returned"};
 };
 
 const PoolCounters& counters() {
@@ -201,6 +206,35 @@ std::uint64_t PmemPool::alloc_direct(std::uint64_t sz) {
     persist(&h->used, sizeof(h->used));
   }
   return off;
+}
+
+PmemPool::Reservation PmemPool::reserve(std::size_t size) {
+  const std::uint64_t off = alloc(size);
+  if (off == 0) {
+    counters().reserve_failed.inc();
+    return Reservation{};
+  }
+  counters().reserve_acquired.inc();
+  return Reservation{this, off, align_up(size, kCacheLineSize)};
+}
+
+std::uint64_t PmemPool::Reservation::consume() noexcept {
+  const std::uint64_t off = off_;
+  counters().reserve_consumed.inc();
+  pool_ = nullptr;
+  off_ = 0;
+  size_ = 0;
+  return off;
+}
+
+void PmemPool::Reservation::release() noexcept {
+  if (off_ != 0 && pool_ != nullptr) {
+    counters().reserve_returned.inc();
+    pool_->free(off_, size_);
+  }
+  pool_ = nullptr;
+  off_ = 0;
+  size_ = 0;
 }
 
 void PmemPool::free(std::uint64_t offset, std::size_t size) {

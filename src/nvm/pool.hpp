@@ -104,6 +104,61 @@ class PmemPool {
   /// blocks take the allocation mutex.
   std::uint64_t alloc(std::size_t size);
 
+  /// Pre-flight space reservation (see reserve()).  Move-only RAII: an
+  /// unconsumed reservation returns its block to the pool on destruction, a
+  /// consumed one hands the block to the caller.  Invalid (default / failed
+  /// / moved-from) reservations are inert.
+  class Reservation {
+   public:
+    Reservation() noexcept = default;
+    Reservation(Reservation&& other) noexcept
+        : pool_(other.pool_), off_(other.off_), size_(other.size_) {
+      other.pool_ = nullptr;
+      other.off_ = 0;
+      other.size_ = 0;
+    }
+    Reservation& operator=(Reservation&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        off_ = other.off_;
+        size_ = other.size_;
+        other.pool_ = nullptr;
+        other.off_ = 0;
+        other.size_ = 0;
+      }
+      return *this;
+    }
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+    ~Reservation() { release(); }
+
+    bool valid() const noexcept { return off_ != 0; }
+    std::uint64_t size() const noexcept { return size_; }
+
+    /// Hand the reserved block to the caller; the reservation becomes
+    /// invalid.  Must only be called on a valid reservation.
+    std::uint64_t consume() noexcept;
+
+    /// Return an unconsumed block to the pool now (idempotent).
+    void release() noexcept;
+
+   private:
+    friend class PmemPool;
+    Reservation(PmemPool* pool, std::uint64_t off, std::uint64_t size) noexcept
+        : pool_(pool), off_(off), size_(size) {}
+    PmemPool* pool_ = nullptr;
+    std::uint64_t off_ = 0;
+    std::uint64_t size_ = 0;
+  };
+
+  /// Reserve @p size bytes BEFORE entering a critical section, so an
+  /// exhausted pool is detected while backing out is still trivial — a
+  /// mutation that holds a reservation can never fail on allocation
+  /// mid-critical-section.  Returns an invalid Reservation on exhaustion
+  /// (counted in pool.reserve.failed).
+  Reservation reserve(std::size_t size);
+
   /// Return a block to the (volatile) free list.
   void free(std::uint64_t offset, std::size_t size);
 

@@ -9,21 +9,31 @@
 // removal at halving granularity) and the minimal reproducer is printed as
 // copy-pasteable steps, so a one-in-four-seeds failure lands as a five-line
 // recipe rather than a 2000-op haystack.
+// A second, fault-injected mode (run_fault_stream) replays seeded streams
+// with a RandomAbortInjector installed and the tree pre-filled to the brink
+// of a minimum-size pool: injected HTM aborts must be invisible to callers,
+// and kPoolExhausted is the ONLY acceptable divergence from the oracle — an
+// exhausted op is skipped by the oracle and the stream carries on, through
+// both recovery cycles.  RNT_FAULT_SEEDS overrides the seed count (CI pins 4).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/fptree.hpp"
 #include "baselines/nvtree.hpp"
 #include "baselines/wbtree.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "core/rntree.hpp"
+#include "htm/abort_inject.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
 
@@ -178,6 +188,164 @@ std::optional<std::string> run_stream(const std::vector<Op>& ops) {
   return std::nullopt;
 }
 
+/// Whether an op result reports pool exhaustion.  remove() still returns
+/// plain bool on trees whose removes are allocation-free; those can never
+/// exhaust.
+template <typename R>
+bool pool_exhausted_result(const R& r) {
+  if constexpr (std::is_same_v<R, common::Status>)
+    return r.pool_exhausted();
+  else
+    return false;
+}
+
+/// Fault-injected stream: like run_stream, but with seeded random HTM abort
+/// injection installed, a minimum-size pool pre-filled until inserts fail,
+/// and exhaustion-aware oracle semantics — an op that returns kPoolExhausted
+/// is a no-op for the oracle; any other divergence is a failure.
+template <typename Adapter>
+std::optional<std::string> run_fault_stream(const std::vector<Op>& ops,
+                                            std::uint64_t seed) {
+  htm::RandomAbortInjector inj(seed, /*abort_permille=*/300);
+  htm::ScopedAbortInjector scope(&inj);
+
+  nvm::PmemPool pool(std::size_t{2} << 20);  // minimum size: ~1 MiB of data
+  auto tree = Adapter::make(pool);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+
+  // Pre-fill to the brink with keys disjoint from the stream's scrambled
+  // keyspace, so the stream runs against a full pool from op 0 on.
+  for (std::uint64_t i = 0; i < 10'000'000; ++i) {
+    const std::uint64_t k = 0x4000000000000000ull + i * 2;
+    if (!tree->insert(k, i)) break;
+    oracle.emplace(k, i);
+  }
+  if (oracle.size() < 100) return "pre-fill never approached exhaustion";
+
+  const std::size_t clean_at = ops.size() / 3;
+  const std::size_t dirty_at = 2 * ops.size() / 3;
+  auto fail = [&](std::size_t i, const std::string& what) {
+    std::ostringstream os;
+    os << "op " << i << " (" << kind_name(ops[i].kind) << " key=" << ops[i].key
+       << " val=" << ops[i].value << "): " << what;
+    return os.str();
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i == clean_at && i != 0) {
+      tree->close();
+      tree.reset();
+      pool.reopen_volatile();
+      if (!pool.clean_shutdown()) return "clean close did not mark pool clean";
+      tree = Adapter::recover(pool);
+    } else if (i == dirty_at && i != clean_at && i != 0) {
+      tree.reset();  // no close(): volatile state is simply gone
+      pool.reopen_volatile();
+      if (pool.clean_shutdown()) return "dirty reopen unexpectedly clean";
+      tree = Adapter::recover(pool);
+    }
+
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case Op::kInsert: {
+        const bool expect = oracle.count(op.key) == 0;
+        const common::Status st = tree->insert(op.key, op.value);
+        if (st.pool_exhausted()) break;  // refused: oracle unchanged
+        if (static_cast<bool>(st) != expect)
+          return fail(i, expect ? "insert refused a fresh key"
+                                : "insert accepted a duplicate key");
+        if (st) oracle.emplace(op.key, op.value);
+        break;
+      }
+      case Op::kUpsert: {
+        const common::Status st = tree->upsert(op.key, op.value);
+        if (st.pool_exhausted()) break;
+        if (!st) return fail(i, "upsert failed without exhaustion");
+        oracle[op.key] = op.value;
+        break;
+      }
+      case Op::kUpdate: {
+        const bool expect = oracle.count(op.key) != 0;
+        const common::Status st = tree->update(op.key, op.value);
+        if (st.pool_exhausted()) break;
+        if (static_cast<bool>(st) != expect)
+          return fail(i, expect ? "update failed on a live key"
+                                : "update succeeded on a missing key");
+        if (st) oracle[op.key] = op.value;
+        break;
+      }
+      case Op::kRemove: {
+        const bool expect = oracle.count(op.key) != 0;
+        const auto r = tree->remove(op.key);
+        if (pool_exhausted_result(r)) break;
+        if (static_cast<bool>(r) != expect)
+          return fail(i, expect ? "remove failed on a live key"
+                                : "remove succeeded on a missing key");
+        if (r) oracle.erase(op.key);
+        break;
+      }
+      case Op::kFind: {
+        const auto got = tree->find(op.key);
+        auto it = oracle.find(op.key);
+        if (got.has_value() != (it != oracle.end()))
+          return fail(i, got ? "find returned a removed/never-inserted key"
+                             : "find missed a live key");
+        if (got && *got != it->second)
+          return fail(i, "find returned a stale value");
+        break;
+      }
+      case Op::kScan: {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+        tree->scan_n(0, oracle.size() + 8, got);
+        if (got.size() != oracle.size())
+          return fail(i, "scan size " + std::to_string(got.size()) +
+                             " != oracle " + std::to_string(oracle.size()));
+        auto it = oracle.begin();
+        for (std::size_t j = 0; j < got.size(); ++j, ++it)
+          if (got[j].first != it->first || got[j].second != it->second)
+            return fail(i, "scan diverges from oracle at rank " +
+                               std::to_string(j));
+        break;
+      }
+    }
+  }
+
+  // Final full-state equivalence.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  tree->scan_n(0, oracle.size() + 8, got);
+  if (got.size() != oracle.size())
+    return "final scan size " + std::to_string(got.size()) + " != oracle " +
+           std::to_string(oracle.size());
+  auto it = oracle.begin();
+  for (std::size_t j = 0; j < got.size(); ++j, ++it)
+    if (got[j].first != it->first || got[j].second != it->second)
+      return "final state diverges from oracle at rank " + std::to_string(j);
+  return std::nullopt;
+}
+
+/// RNT_FAULT_SEEDS fault-injected replays per tree (CI pins 4).
+inline std::uint64_t fault_seed_count() {
+  if (const char* s = std::getenv("RNT_FAULT_SEEDS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 4;
+}
+
+template <typename Adapter>
+void run_fault_differential(const char* name) {
+  const std::uint64_t seeds = fault_seed_count();
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 0xF00D + s * 131;
+    const std::vector<Op> ops = make_stream(seed, 1200);
+    const auto failure = run_fault_stream<Adapter>(ops, seed);
+    if (failure)
+      FAIL() << name << " fault seed " << seed << ": " << *failure
+             << "\nreproduce: RNT_FAULT_SEEDS=" << seeds
+             << " differential_test --gtest_filter=*Fault*";
+  }
+}
+
 /// ddmin-lite: greedily delete chunks (halving granularity) while the
 /// failure reproduces.  Bounded by re-run count, not op count.
 template <typename Adapter>
@@ -287,6 +455,26 @@ TEST_F(DifferentialTest, WbTreeSlotOnly) {
   run_differential<PlainAdapter<WBSO>>("wbtree-so");
 }
 TEST_F(DifferentialTest, FpTree) { run_differential<PlainAdapter<FP>>("fptree"); }
+
+// Fault-injected mode: random HTM aborts + a pool pre-filled to exhaustion.
+TEST_F(DifferentialTest, FaultRnTreeSingleSlot) {
+  run_fault_differential<RnAdapter<false>>("rntree-single");
+}
+TEST_F(DifferentialTest, FaultRnTreeDualSlot) {
+  run_fault_differential<RnAdapter<true>>("rntree-dual");
+}
+TEST_F(DifferentialTest, FaultNvTreeConditional) {
+  run_fault_differential<NvCondAdapter>("nvtree-cond");
+}
+TEST_F(DifferentialTest, FaultWbTree) {
+  run_fault_differential<PlainAdapter<WB>>("wbtree");
+}
+TEST_F(DifferentialTest, FaultWbTreeSlotOnly) {
+  run_fault_differential<PlainAdapter<WBSO>>("wbtree-so");
+}
+TEST_F(DifferentialTest, FaultFpTree) {
+  run_fault_differential<PlainAdapter<FP>>("fptree");
+}
 
 }  // namespace
 }  // namespace rnt

@@ -91,16 +91,26 @@ TEST_F(IntegrationTest, MixedTreeTypesShareOnePool) {
   EXPECT_EQ(fp.find(77), std::optional<std::uint64_t>(79));
 }
 
-TEST_F(IntegrationTest, PoolExhaustionThrowsCleanly) {
+TEST_F(IntegrationTest, PoolExhaustionIsGraceful) {
   // A pool too small for the workload: leaf allocation eventually fails and
-  // the tree reports it as bad_alloc instead of corrupting state.
+  // the tree reports kPoolExhausted instead of throwing or corrupting state.
+  // The full tree stays readable and the failed insert left no trace.
+  // (tests/pool_exhaustion_test.cpp sweeps this across every tree.)
   nvm::PmemPool pool(std::size_t{4} << 20);  // ~2 MB usable
   Tree tree(pool);
-  EXPECT_THROW(
-      {
-        for (std::uint64_t i = 0;; ++i) ASSERT_TRUE(tree.insert(i, i));
-      },
-      std::bad_alloc);
+  std::uint64_t filled = 0;
+  common::Status st = common::OkStatus();
+  for (std::uint64_t i = 0; i < 10'000'000; ++i) {
+    st = tree.insert(i, i);
+    if (!st) break;
+    ++filled;
+  }
+  ASSERT_FALSE(st) << "pool never filled";
+  EXPECT_EQ(st.code(), common::StatusCode::kPoolExhausted);
+  EXPECT_EQ(tree.size(), filled);
+  EXPECT_FALSE(tree.find(filled).has_value());  // failed insert left no trace
+  EXPECT_EQ(tree.find(0), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(tree.find(filled - 1), std::optional<std::uint64_t>(filled - 1));
 }
 
 TEST_F(IntegrationTest, CloseIsIdempotentAcrossRecoveryGenerations) {

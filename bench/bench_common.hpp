@@ -17,6 +17,15 @@
 //                      the document shape
 //   --trace=N          keep a per-thread flight-recorder ring of the last N
 //                      operations; included under "trace" in the JSON dump
+//   --sample-ms=N      background time-series sampler: snapshot the metrics
+//                      registry every N ms; windowed rates exported under
+//                      "timeseries" in the JSON dump (src/obs/sampler.hpp)
+//   --perfetto=FILE    write the flight-recorder ring as a chrome://tracing
+//                      / ui.perfetto.dev JSON timeline to FILE at exit;
+//                      implies a default --trace=4096 if --trace is absent
+//
+// Either telemetry flag also arms per-op phase attribution
+// (obs::set_phase_timing), populating the lat.phase.* histograms.
 //
 // Unknown flags are rejected with a usage message (exit 2) so typos cannot
 // silently run a bench with default parameters.
@@ -35,7 +44,11 @@
 #include "common/timing.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
+#include "obs/buildinfo.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/phase.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace rnt::bench {
@@ -56,6 +69,9 @@ struct BenchOptions {
   bool paper = false;
   std::string stats_json;        ///< --stats-json=FILE ("" = no export)
   std::uint64_t trace_events = 0;  ///< --trace=N per-thread ring capacity
+  bool trace_in_json = false;    ///< explicit --trace: include "trace" in JSON
+  std::uint32_t sample_ms = 0;   ///< --sample-ms=N sampler interval (0 = off)
+  std::string perfetto;          ///< --perfetto=FILE ("" = no timeline export)
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
@@ -67,7 +83,9 @@ struct BenchOptions {
                  "  --write-ns=N       injected NVM write latency (ns)\n"
                  "  --seed=N           workload seed\n"
                  "  --stats-json=FILE  write metrics snapshot as JSON (\"-\" = stdout)\n"
-                 "  --trace=N          per-thread flight-recorder ring of N events\n",
+                 "  --trace=N          per-thread flight-recorder ring of N events\n"
+                 "  --sample-ms=N      time-series sampler interval (JSON \"timeseries\")\n"
+                 "  --perfetto=FILE    write chrome://tracing timeline JSON to FILE\n",
                  argv0);
   }
 
@@ -97,6 +115,11 @@ struct BenchOptions {
         o.stats_json = v;
       } else if (const char* v = val("--trace=")) {
         o.trace_events = std::strtoull(v, nullptr, 10);
+        o.trace_in_json = o.trace_events != 0;
+      } else if (const char* v = val("--sample-ms=")) {
+        o.sample_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = val("--perfetto=")) {
+        o.perfetto = v;
       } else if (a == "--help" || a == "-h") {
         usage(argv[0]);
         std::exit(0);
@@ -106,7 +129,12 @@ struct BenchOptions {
         std::exit(2);
       }
     }
+    if (!o.perfetto.empty() && o.trace_events == 0)
+      o.trace_events = 4096;  // a timeline needs events to draw
     if (o.trace_events != 0) obs::set_trace_capacity(o.trace_events);
+    if (o.sample_ms != 0 || !o.perfetto.empty()) obs::set_phase_timing(true);
+    if (o.sample_ms != 0)
+      obs::sampler().start({.interval_ms = o.sample_ms, .capacity = 600});
     return o;
   }
 
@@ -123,12 +151,18 @@ struct BenchOptions {
   }
 };
 
-/// Honour --stats-json: write the registry snapshot (plus the trace rings
-/// when --trace is on) tagged with the bench's parameters.  Every bench main
-/// calls this once on its way out.
+/// Honour the telemetry export flags: stop the sampler (so its final window
+/// covers the run's tail), write the --perfetto timeline, then the
+/// --stats-json registry snapshot (plus trace rings when --trace is on and
+/// the "timeseries" section when --sample-ms was given) tagged with build
+/// provenance and the bench's parameters.  Every bench main calls this once
+/// on its way out.
 inline void export_stats(const BenchOptions& o, const std::string& bench_name) {
+  if (o.sample_ms != 0) obs::sampler().stop();
+  if (!o.perfetto.empty()) obs::write_chrome_trace(o.perfetto);
   if (o.stats_json.empty()) return;
-  const std::vector<obs::MetaField> meta = {
+  std::vector<obs::MetaField> meta = obs::standard_meta();
+  const std::vector<obs::MetaField> bench_meta = {
       {"bench", bench_name, false},
       {"warm", std::to_string(o.warm), true},
       {"hot_keys", std::to_string(o.hot_keys), true},
@@ -137,7 +171,9 @@ inline void export_stats(const BenchOptions& o, const std::string& bench_name) {
       {"seed", std::to_string(o.seed), true},
       {"paper", o.paper ? "true" : "false", true},
   };
-  obs::write_json_snapshot(o.stats_json, meta, o.trace_events != 0);
+  meta.insert(meta.end(), bench_meta.begin(), bench_meta.end());
+  obs::write_json_snapshot(o.stats_json, meta, o.trace_in_json,
+                           o.sample_ms != 0);
 }
 
 /// Bijective key scrambler: warm keys are mix64(0..warm-1); fresh insert

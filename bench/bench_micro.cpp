@@ -244,7 +244,8 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
     std::snprintf(buf, sizeof(buf), "%.4f", v);
     return std::string(buf);
   };
-  const std::vector<rnt::obs::MetaField> meta = {
+  std::vector<rnt::obs::MetaField> meta = rnt::obs::standard_meta();
+  const std::vector<rnt::obs::MetaField> gate_meta = {
       {"bench", "micro_gate", false},
       {"schema", "rnt-gate-v1", false},
       {"warm", std::to_string(warm), true},
@@ -258,6 +259,7 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
       {"update_persists_mode", std::to_string(update_p), true},
       {"remove_persists_mode", std::to_string(remove_p), true},
   };
+  meta.insert(meta.end(), gate_meta.begin(), gate_meta.end());
   rnt::obs::write_json_snapshot(path, meta, false);
   std::printf("gate: calib %.2f Mops | find %.4f | insert %.4f | mixed %.4f"
               " | persists f/i/u/r = %llu/%llu/%llu/%llu -> %s\n",
@@ -271,14 +273,16 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): peel off the repo-wide
-// --stats-json=FILE / --trace=N flags plus the gate-mode flags
-// (google-benchmark rejects flags it does not know) before handing the rest
-// to the library.
+// --stats-json=FILE / --trace=N / --sample-ms=N / --perfetto=FILE flags plus
+// the gate-mode flags (google-benchmark rejects flags it does not know)
+// before handing the rest to the library.
 int main(int argc, char** argv) {
   std::string stats_json;
   std::string gate_json;
+  std::string perfetto;
   std::uint64_t gate_warm = 200'000;
   double gate_secs = 0.4;
+  std::uint32_t sample_ms = 0;
   bool tracing = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -294,17 +298,33 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--trace=", 0) == 0) {
       rnt::obs::set_trace_capacity(std::strtoull(a.c_str() + 8, nullptr, 10));
       tracing = true;
+    } else if (a.rfind("--sample-ms=", 0) == 0) {
+      sample_ms =
+          static_cast<std::uint32_t>(std::strtoul(a.c_str() + 12, nullptr, 10));
+    } else if (a.rfind("--perfetto=", 0) == 0) {
+      perfetto = a.substr(11);
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+  if (!perfetto.empty() && !tracing) {
+    rnt::obs::set_trace_capacity(4096);
+    tracing = true;
+  }
+  if (sample_ms != 0 || !perfetto.empty()) rnt::obs::set_phase_timing(true);
+  if (sample_ms != 0) rnt::obs::sampler().start({.interval_ms = sample_ms});
   if (!gate_json.empty()) return run_gate(gate_json, gate_warm, gate_secs);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!stats_json.empty())
-    rnt::obs::write_json_snapshot(stats_json, {{"bench", "micro", false}}, tracing);
+  if (sample_ms != 0) rnt::obs::sampler().stop();
+  if (!perfetto.empty()) rnt::obs::write_chrome_trace(perfetto);
+  if (!stats_json.empty()) {
+    std::vector<rnt::obs::MetaField> meta = rnt::obs::standard_meta();
+    meta.push_back({"bench", "micro", false});
+    rnt::obs::write_json_snapshot(stats_json, meta, tracing, sample_ms != 0);
+  }
   return 0;
 }

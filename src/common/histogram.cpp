@@ -38,4 +38,16 @@ std::string LatencyHistogram::summary() const {
   return buf;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+LatencyHistogram::cumulative_buckets() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    acc += counts_[i];
+    out.emplace_back(bucket_upper(i), acc);
+  }
+  return out;
+}
+
 }  // namespace rnt

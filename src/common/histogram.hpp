@@ -37,6 +37,7 @@ class LatencyHistogram {
   }
 
   std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t max() const noexcept { return total_ ? max_ : 0; }
   std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
   double mean() const noexcept {
@@ -56,6 +57,11 @@ class LatencyHistogram {
 
   /// "p50=... p99=... max=..." one-line summary (values in microseconds).
   std::string summary() const;
+
+  /// Cumulative distribution over the non-empty buckets: (upper bound in ns,
+  /// observations <= that bound) pairs, cumulative count strictly increasing
+  /// and ending at count().  Feeds Prometheus `_bucket{le=...}` exposition.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cumulative_buckets() const;
 
  private:
   static int bucket_of(std::uint64_t ns) noexcept {

@@ -47,6 +47,7 @@
 #include "nvm/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/op_trace.hpp"
+#include "obs/phase.hpp"
 
 namespace rnt::core {
 
@@ -193,7 +194,10 @@ class RNTree {
       Leaf* leaf = inner_.find_leaf(k);
       leaf = chase(leaf, k);
       prefetch_range(leaf, sizeof(Leaf));
-      leaf->vlock.lock();
+      {
+        obs::PhaseTimer pt(obs::Phase::kLockWait);
+        leaf->vlock.lock();
+      }
       if (!covers(leaf, k)) {
         leaf->vlock.unlock();
         stats_.count_modify_restart();
@@ -537,7 +541,10 @@ class RNTree {
 
       // Step 4 (concurrency): take the leaf lock, make the entry reachable.
       tr.leaf(pool_.off(leaf));
-      leaf->vlock.lock();
+      {
+        obs::PhaseTimer pt(obs::Phase::kLockWait);
+        leaf->vlock.lock();
+      }
       if ((leaf->vlock.raw() & htm::VersionLock::kVersionMask) !=
               (ver & htm::VersionLock::kVersionMask) ||
           !covers(leaf, k)) {
@@ -613,7 +620,10 @@ class RNTree {
   /// races/conditional failures): split under the lock, then retry.
   common::Status force_split(Leaf* leaf, nvm::PmemPool::Reservation* res) {
     common::Status s = common::OkStatus();
-    leaf->vlock.lock();
+    {
+      obs::PhaseTimer pt(obs::Phase::kLockWait);
+      leaf->vlock.lock();
+    }
     if (leaf->nlogs.load(std::memory_order_relaxed) >= Leaf::kLogCap)
       s = split_locked(leaf, res);
     leaf->vlock.unlock();
@@ -626,6 +636,7 @@ class RNTree {
   /// needs no allocation and always succeeds.
   common::Status split_locked(Leaf* leaf,
                               nvm::PmemPool::Reservation* res = nullptr) {
+    obs::PhaseTimer pt(obs::Phase::kSmo);
     const int live = leaf->pslot[0];
     if (live < static_cast<int>(kSlotCap) / 2) {
       compact_locked(leaf);
@@ -703,6 +714,7 @@ class RNTree {
   }
 
   /// Shrink-split: obsolete log entries dominate; compact in place.
+  /// (kSmo attribution comes from split_locked, its only caller.)
   void compact_locked(Leaf* leaf) {
     stats_.count_shrink_split();
     leaf->vlock.set_split();

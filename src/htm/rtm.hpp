@@ -32,6 +32,7 @@
 #include "htm/abort_inject.hpp"
 #include "htm/spinlock.hpp"
 #include "nvm/persist.hpp"
+#include "obs/phase.hpp"
 
 namespace rnt::htm {
 
@@ -238,16 +239,22 @@ void atomic_exec(SpinLock& fallback, Fn&& fn,
                  const RetryPolicy& policy = default_retry_policy()) {
   HtmStats& st = tls_htm_stats();
   if (AbortInjector* inj = abort_injector()) {
+    obs::PhaseTimer pt(obs::Phase::kHtm);
     if (detail::run_injected(*inj, &fallback, fn, policy, st)) return;
     ++st.fallbacks;
   }
 #if defined(RNTREE_HAVE_RTM)
   else if (rtm_supported() && nvm::shadow_active() == nullptr) {
+    obs::PhaseTimer pt(obs::Phase::kHtm);
     if (detail::run_rtm(fallback, fn, policy, st)) return;
     ++st.fallbacks;
   }
 #endif
-  SpinGuard g(fallback);
+  {
+    obs::PhaseTimer wait(obs::Phase::kLockWait);
+    fallback.lock();
+  }
+  SpinGuard g(fallback, AdoptLock{});
   ++st.lock_acquisitions;
   detail::TxGuard tx;  // commit-or-abort on unwind (exception safety)
   std::forward<Fn>(fn)();
@@ -267,7 +274,10 @@ void atomic_exec_excl(Fn&& fn,
                       const RetryPolicy& policy = default_retry_policy()) {
   if (AbortInjector* inj = abort_injector()) {
     HtmStats& st = tls_htm_stats();
-    if (detail::run_injected(*inj, nullptr, fn, policy, st)) return;
+    {
+      obs::PhaseTimer pt(obs::Phase::kHtm);
+      if (detail::run_injected(*inj, nullptr, fn, policy, st)) return;
+    }
     ++st.fallbacks;
     detail::TxGuard tx;
     std::forward<Fn>(fn)();
@@ -277,29 +287,32 @@ void atomic_exec_excl(Fn&& fn,
 #if defined(RNTREE_HAVE_RTM)
   if (rtm_supported() && nvm::shadow_active() == nullptr) {
     HtmStats& st = tls_htm_stats();
-    Backoff conflict_bo;
-    int spurious = 0;
-    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-      ++st.attempts;
-      const unsigned status = detail::xbegin();
-      if (status == detail::kXBeginStarted) {
-        fn();
-        detail::xend();
-        ++st.commits;
-        return;
-      }
-      if ((status & detail::kAbortCapacity) != 0) {
-        ++st.aborts_capacity;
-        break;
-      }
-      if ((status & detail::kAbortConflict) != 0) {
-        ++st.aborts_conflict;
-        conflict_bo.pause();
-      } else {
-        ++st.aborts_other;
-        if ((status & detail::kAbortRetry) == 0 &&
-            ++spurious > policy.max_spurious_retries)
+    {
+      obs::PhaseTimer pt(obs::Phase::kHtm);
+      Backoff conflict_bo;
+      int spurious = 0;
+      for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+        ++st.attempts;
+        const unsigned status = detail::xbegin();
+        if (status == detail::kXBeginStarted) {
+          fn();
+          detail::xend();
+          ++st.commits;
+          return;
+        }
+        if ((status & detail::kAbortCapacity) != 0) {
+          ++st.aborts_capacity;
           break;
+        }
+        if ((status & detail::kAbortConflict) != 0) {
+          ++st.aborts_conflict;
+          conflict_bo.pause();
+        } else {
+          ++st.aborts_other;
+          if ((status & detail::kAbortRetry) == 0 &&
+              ++spurious > policy.max_spurious_retries)
+            break;
+        }
       }
     }
     ++st.fallbacks;

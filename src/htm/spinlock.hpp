@@ -36,10 +36,15 @@ class SpinLock {
   std::atomic<bool> locked_{false};
 };
 
+/// Tag for adopting a lock the caller already acquired (e.g. under a
+/// lock-wait phase timer).
+struct AdoptLock {};
+
 /// std::lock_guard-compatible RAII.
 class SpinGuard {
  public:
   explicit SpinGuard(SpinLock& l) noexcept : l_(l) { l_.lock(); }
+  SpinGuard(SpinLock& l, AdoptLock) noexcept : l_(l) {}
   ~SpinGuard() { l_.unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;

@@ -3,6 +3,7 @@
 #include "common/timing.hpp"
 #include "nvm/shadow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 
 namespace rnt::nvm {
 
@@ -126,6 +127,10 @@ void sfence() noexcept(false) {
 }
 
 void persist(const void* p, std::size_t n) noexcept(false) {
+  // Phase attribution covers the whole flush+fence compound (including the
+  // injected NVM latency charged in sfence); bare clwb/sfence calls are not
+  // timed individually to avoid double-counting nested compounds.
+  obs::PhaseTimer pt(obs::Phase::kPersist);
   tls_stats().persist++;
   const char* c = static_cast<const char*>(p);
   const std::size_t nlines = lines_spanned(p, n);

@@ -1,0 +1,65 @@
+#include "obs/buildinfo.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+
+namespace rnt::obs {
+
+namespace {
+
+#define RNT_STR2(x) #x
+#define RNT_STR(x) RNT_STR2(x)
+
+const char* git_sha() {
+#if defined(RNT_GIT_SHA)
+  return RNT_STR(RNT_GIT_SHA);
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_type() {
+#if defined(RNT_BUILD_TYPE)
+  return RNT_STR(RNT_BUILD_TYPE);
+#else
+  return "unknown";
+#endif
+}
+
+const char* compiler() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<MetaField> standard_meta() {
+  char cores[16];
+  std::snprintf(cores, sizeof(cores), "%u",
+                std::thread::hardware_concurrency());
+  return {
+      {"git_sha", git_sha(), false},
+      {"build_type", build_type(), false},
+      {"compiler", compiler(), false},
+      {"host_cores", cores, true},
+      {"timestamp", iso8601_utc_now(), false},
+  };
+}
+
+}  // namespace rnt::obs

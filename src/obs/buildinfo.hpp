@@ -1,0 +1,24 @@
+// Standard provenance metadata for exported stats documents.
+//
+// Every --stats-json document should say *what* produced it: the commit,
+// the build type, the compiler, the host, and when.  standard_meta()
+// assembles those as MetaFields for the "meta" section; benches prepend it
+// to their own workload fields (bench name, thread count, ...).
+//
+// git_sha and build_type are baked in at configure time (RNT_GIT_SHA /
+// RNT_BUILD_TYPE compile definitions on this TU only, so an incremental
+// rebuild after a commit only recompiles one file); both degrade to
+// "unknown" when the definitions are absent.
+#pragma once
+
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace rnt::obs {
+
+/// { git_sha, build_type, compiler, host_cores (number), timestamp
+/// (ISO-8601 UTC) } — prepend to a bench's own meta fields.
+std::vector<MetaField> standard_meta();
+
+}  // namespace rnt::obs

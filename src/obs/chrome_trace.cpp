@@ -1,0 +1,125 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rnt::obs {
+
+namespace {
+
+// One decimal microsecond with three fractional digits keeps the events'
+// nanosecond resolution through the format's µs timestamps.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_slice(std::string& out, bool& first, std::uint32_t tid,
+                  const char* cat, const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns) {
+  out += first ? "\n  " : ",\n  ";
+  first = false;
+  out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u", tid);
+  out += buf;
+  out += ",\"cat\":\"";
+  out += cat;
+  out += "\",\"name\":\"";
+  out += name;
+  out += "\",\"ts\":";
+  append_us(out, start_ns);
+  out += ",\"dur\":";
+  append_us(out, dur_ns);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(256 + events.size() * 512);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+
+  // One named track per recording thread.
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.thread_id);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  char buf[128];
+  for (std::uint32_t tid : tids) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"thread %u\"}}",
+                  tid, tid);
+    out += buf;
+  }
+
+  for (const TraceEvent& e : events) {
+    const std::uint64_t dur = e.latency_ns;
+    const std::uint64_t start = e.ts_ns >= dur ? e.ts_ns - dur : 0;
+    append_slice(out, first, e.thread_id, "op",
+                 to_string(static_cast<OpKind>(e.op)), start, dur);
+    out += ",\"args\":{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"key\":%" PRIu64 ",\"leaf\":%" PRIu64 ",\"result\":\"%s\","
+                  "\"htm_attempts\":%u,\"persists\":%u",
+                  e.key, e.leaf_off, to_string(static_cast<OpResult>(e.result)),
+                  e.htm_attempts, e.persists);
+    out += buf;
+    if (e.aborts_conflict + e.aborts_capacity + e.aborts_other + e.fallbacks !=
+        0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"aborts_conflict\":%u,\"aborts_capacity\":%u,"
+                    "\"aborts_other\":%u,\"fallbacks\":%u",
+                    e.aborts_conflict, e.aborts_capacity, e.aborts_other,
+                    e.fallbacks);
+      out += buf;
+    }
+    out += "}}";
+
+    // Phase sub-slices: laid out sequentially from the op's start (the
+    // recorder keeps totals, not begin/end stamps), clamped to the slice so
+    // overlapping attributions (an SMO's persists) never spill past the op.
+    const std::pair<const char*, std::uint32_t> phases[] = {
+        {"htm", e.phase_htm_ns},
+        {"lock_wait", e.phase_lock_ns},
+        {"persist", e.phase_persist_ns},
+        {"smo", e.phase_smo_ns},
+    };
+    std::uint64_t cursor = 0;
+    for (const auto& [pname, pns] : phases) {
+      if (pns == 0 || cursor >= dur) continue;
+      const std::uint64_t len = std::min<std::uint64_t>(pns, dur - cursor);
+      append_slice(out, first, e.thread_id, "phase", pname, start + cursor, len);
+      out += '}';
+      cursor += len;
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string doc = to_chrome_trace(collect_traces());
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rnt::obs

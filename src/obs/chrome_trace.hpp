@@ -1,0 +1,36 @@
+// Chrome/Perfetto trace-event exporter for the flight-recorder ring.
+//
+// Converts collected TraceEvents into the chrome://tracing JSON Array
+// Format (also loadable at ui.perfetto.dev): one track per recording
+// thread, one "X" complete slice per operation, with the op's phase
+// attribution rendered as child sub-slices and the abort-cause counters
+// attached as slice args.  Timestamps are the events' own clocks (wall
+// nanoseconds, or virtual time for DES-simulator events) scaled to the
+// microseconds the format requires.
+//
+// Benches drive this via --perfetto=FILE: at exit they call
+// write_chrome_trace(), which collects every ring and writes the document
+// ("-" = stdout).  Open the file in ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rnt::obs {
+
+/// Serialise @p events as a chrome://tracing JSON document:
+/// {"traceEvents":[...],"displayTimeUnit":"ns"}.  Emits one "M"
+/// thread_name metadata event per distinct thread_id, one "X" complete
+/// event per op (cat "op", args: key/leaf/result/htm_attempts/persists/
+/// aborts_*/fallbacks), and one "X" sub-slice per nonzero phase (cat
+/// "phase"), laid out sequentially from the op slice's start and clamped
+/// to its duration.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// collect_traces() + to_chrome_trace() written to @p path ("-" = stdout).
+/// Returns false (with a message on stderr) if the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace rnt::obs

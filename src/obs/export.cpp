@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace rnt::obs {
@@ -49,7 +50,7 @@ std::string prom_name(const std::string& name) {
 }  // namespace
 
 std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta,
-                    bool include_trace) {
+                    bool include_trace, bool include_timeseries) {
   std::string out;
   out.reserve(4096);
   out += "{\n  \"meta\": {";
@@ -85,9 +86,9 @@ std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta,
     const HistogramSummary& h = snap.histograms[i].second;
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  ": {\"count\": %" PRIu64 ", \"min\": %" PRIu64
-                  ", \"max\": %" PRIu64 ", \"mean\": ",
-                  h.count, h.min, h.max);
+                  ": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"mean\": ",
+                  h.count, h.sum, h.min, h.max);
     out += buf;
     append_number(out, h.mean);
     std::snprintf(buf, sizeof(buf),
@@ -97,6 +98,13 @@ std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta,
     out += buf;
   }
   out += "\n  }";
+  if (include_timeseries) {
+    const std::string ts = timeseries_json();
+    if (!ts.empty()) {
+      out += ",\n  \"timeseries\": ";
+      out += ts;
+    }
+  }
   if (include_trace && trace_enabled()) {
     out += ",\n  \"trace\": ";
     traces_json(out);
@@ -123,26 +131,27 @@ std::string to_prometheus(const Snapshot& snap) {
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string p = prom_name(name);
-    std::snprintf(buf, sizeof(buf), "# TYPE %s summary\n", p.c_str());
+    std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", p.c_str());
     out += buf;
-    const std::pair<const char*, std::uint64_t> qs[] = {
-        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}, {"0.999", h.p999}};
-    for (const auto& [q, v] : qs) {
-      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %" PRIu64 "\n",
-                    p.c_str(), q, v);
+    for (const auto& [upper, cum] : h.buckets) {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    p.c_str(), upper, cum);
       out += buf;
     }
     std::snprintf(buf, sizeof(buf),
-                  "%s_count %" PRIu64 "\n%s_sum %.0f\n", p.c_str(), h.count,
-                  p.c_str(), h.mean * static_cast<double>(h.count));
+                  "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n%s_sum %" PRIu64
+                  "\n%s_count %" PRIu64 "\n",
+                  p.c_str(), h.count, p.c_str(), h.sum, p.c_str(), h.count);
     out += buf;
   }
   return out;
 }
 
 bool write_json_snapshot(const std::string& path,
-                         const std::vector<MetaField>& meta, bool include_trace) {
-  const std::string doc = to_json(snapshot(), meta, include_trace);
+                         const std::vector<MetaField>& meta, bool include_trace,
+                         bool include_timeseries) {
+  const std::string doc = to_json(snapshot(), meta, include_trace,
+                                  include_timeseries);
   if (path == "-") {
     std::fwrite(doc.data(), 1, doc.size(), stdout);
     return true;

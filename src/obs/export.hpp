@@ -8,9 +8,11 @@
 //     "meta":       { ...caller-supplied string/number fields... },
 //     "counters":   { "nvm.persist": 123, ... },
 //     "gauges":     { "nvm.write_latency_ns": 140, ... },
-//     "histograms": { "name": {"count":..,"min":..,"max":..,"mean":..,
-//                              "p50":..,"p90":..,"p99":..,"p999":..}, ... },
-//     "trace":      [ {...TraceEvent...}, ... ]        // only when tracing
+//     "histograms": { "name": {"count":..,"sum":..,"min":..,"max":..,
+//                              "mean":..,"p50":..,"p90":..,"p99":..,
+//                              "p999":..}, ... },
+//     "timeseries": { "interval_ms":..,"windows":[...] },  // when sampling
+//     "trace":      [ {...TraceEvent...}, ... ]            // when tracing
 //   }
 //
 // Keys are sorted, values are plain integers/doubles, strings are escaped —
@@ -35,17 +37,22 @@ struct MetaField {
 };
 
 /// Serialise @p snap as a JSON document.  Includes the trace rings' contents
-/// when @p include_trace is set and tracing is enabled.
+/// when @p include_trace is set and tracing is enabled, and the sampler's
+/// `timeseries` section when @p include_timeseries is set and at least one
+/// rate window exists (see obs/sampler.hpp).
 std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta = {},
-                    bool include_trace = false);
+                    bool include_trace = false, bool include_timeseries = false);
 
 /// Prometheus text exposition format ('.' in metric names becomes '_').
+/// Histograms are exposed as TYPE histogram: cumulative `_bucket{le="..."}`
+/// lines over the non-empty buckets plus `le="+Inf"`, `_sum`, `_count`.
 std::string to_prometheus(const Snapshot& snap);
 
 /// snapshot() + to_json() written to @p path ("-" = stdout).  Returns false
 /// (with a message on stderr) if the file cannot be written.
 bool write_json_snapshot(const std::string& path,
                          const std::vector<MetaField>& meta = {},
-                         bool include_trace = false);
+                         bool include_trace = false,
+                         bool include_timeseries = false);
 
 }  // namespace rnt::obs

@@ -202,6 +202,7 @@ Snapshot snapshot() {
           if (i < s->hists.size() && s->hists[i]) h.merge(*s->hists[i]);
         HistogramSummary sum;
         sum.count = h.count();
+        sum.sum = h.sum();
         sum.min = h.min();
         sum.max = h.max();
         sum.mean = h.mean();
@@ -209,6 +210,7 @@ Snapshot snapshot() {
         sum.p90 = h.percentile(0.90);
         sum.p99 = h.percentile(0.99);
         sum.p999 = h.percentile(0.999);
+        sum.buckets = h.cumulative_buckets();
         out.histograms.emplace_back(m.name, sum);
         break;
       }

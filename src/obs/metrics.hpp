@@ -44,6 +44,7 @@ enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 /// Aggregated histogram summary for snapshots/export.
 struct HistogramSummary {
   std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< exact total of recorded values (ns)
   std::uint64_t min = 0;
   std::uint64_t max = 0;
   double mean = 0.0;
@@ -51,6 +52,9 @@ struct HistogramSummary {
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
   std::uint64_t p999 = 0;
+  /// Cumulative distribution over non-empty buckets: (upper bound ns,
+  /// observations <= bound).  Prometheus `_bucket{le=...}` source.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 };
 
 /// Point-in-time view of the whole registry (entries sorted by name).

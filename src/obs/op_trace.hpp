@@ -1,10 +1,20 @@
-// OpTrace — RAII per-operation flight recorder.
+// OpTrace — RAII per-operation flight recorder and phase profiler.
 //
-// Construct at the top of a tree operation; on destruction it records one
-// TraceEvent carrying the op's latency, the persistent instructions and HTM
-// attempts it executed (diffed from the thread-local module counters), the
-// key, and the leaf/result the op reported.  When tracing is disabled the
-// constructor is one relaxed load + branch and the destructor is one branch.
+// Construct at the top of a tree operation; on destruction it records the
+// op's latency, the persistent instructions, HTM attempts, abort causes and
+// fallbacks it executed (diffed from the thread-local module counters), and
+// its per-phase time share (diffed from the obs/phase.hpp tick
+// accumulators).  Two independent consumers arm it:
+//
+//   * tracing (set_trace_capacity / --trace / --perfetto): one TraceEvent
+//     into this thread's flight-recorder ring, phase + abort fields filled;
+//   * phase timing (set_phase_timing / --sample-ms): the `op.completed` and
+//     `op.<kind>` counters the time-series sampler differences, the
+//     `lat.op.<kind>` latency histogram, and each nonzero phase share into
+//     the `lat.phase.*` histograms.
+//
+// When both are off the constructor is two relaxed loads + a branch and the
+// destructor one branch.
 //
 // An operation aborted by an exception (e.g. an injected nvm::CrashPoint)
 // still records, with result kCrash — that trailing event is exactly what a
@@ -16,20 +26,53 @@
 #include "common/timing.hpp"
 #include "htm/rtm.hpp"
 #include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 
 namespace rnt::obs {
 
+namespace detail {
+
+struct OpMetrics {
+  Counter completed{"op.completed"};
+  Counter by_kind[10] = {
+      Counter("op.find"),    Counter("op.insert"),  Counter("op.update"),
+      Counter("op.upsert"),  Counter("op.remove"),  Counter("op.scan"),
+      Counter("op.split"),   Counter("op.compact"), Counter("op.recover"),
+      Counter("op.other"),
+  };
+  Histogram lat_by_kind[10] = {
+      Histogram("lat.op.find"),    Histogram("lat.op.insert"),
+      Histogram("lat.op.update"),  Histogram("lat.op.upsert"),
+      Histogram("lat.op.remove"),  Histogram("lat.op.scan"),
+      Histogram("lat.op.split"),   Histogram("lat.op.compact"),
+      Histogram("lat.op.recover"), Histogram("lat.op.other"),
+  };
+};
+
+inline OpMetrics& op_metrics() {
+  static OpMetrics m;
+  return m;
+}
+
+}  // namespace detail
+
 class OpTrace {
  public:
   OpTrace(OpKind op, std::uint64_t key) noexcept {
-    if (!trace_enabled()) return;
+    const bool tracing = trace_enabled();
+    const bool profiling = phase_timing_enabled();
+    if (!tracing && !profiling) return;
     armed_ = true;
+    tracing_ = tracing;
+    profiling_ = profiling;
     op_ = op;
     key_ = key;
     t0_ = now_ns();
     persists0_ = nvm::tls_stats().persist;
-    htm0_ = htm::tls_htm_stats().attempts;
+    htm0_ = htm::tls_htm_stats();
+    phase0_ = phase_ticks_snapshot();
   }
 
   OpTrace(const OpTrace&) = delete;
@@ -50,28 +93,65 @@ class OpTrace {
     if (!armed_) return;
     if (result_ == OpResult::kUnknown && std::uncaught_exceptions() > 0)
       result_ = OpResult::kCrash;
-    TraceEvent ev{};
-    ev.ts_ns = now_ns();
-    ev.key = key_;
-    ev.leaf_off = leaf_off_;
-    ev.latency_ns = ev.ts_ns - t0_;
-    ev.htm_attempts =
-        static_cast<std::uint32_t>(htm::tls_htm_stats().attempts - htm0_);
-    ev.persists = static_cast<std::uint32_t>(nvm::tls_stats().persist - persists0_);
-    ev.op = static_cast<std::uint16_t>(op_);
-    ev.result = static_cast<std::uint16_t>(result_);
-    trace(ev);
+    const std::uint64_t ts = now_ns();
+    const std::uint64_t latency = ts - t0_;
+    const htm::HtmStats& h1 = htm::tls_htm_stats();
+    const PhaseTicks p1 = phase_ticks_snapshot();
+    std::uint64_t phase_ns[kPhaseCount];
+    for (int i = 0; i < kPhaseCount; ++i)
+      phase_ns[i] = phase_ticks_to_ns(p1.t[i] - phase0_.t[i]);
+
+    if (profiling_) {
+      detail::OpMetrics& m = detail::op_metrics();
+      m.completed.inc();
+      const auto k = static_cast<std::size_t>(op_);
+      if (k < 10) {
+        m.by_kind[k].inc();
+        m.lat_by_kind[k].record(latency);
+      }
+      for (int i = 0; i < kPhaseCount; ++i)
+        if (phase_ns[i] != 0)
+          record_phase_ns(static_cast<Phase>(i), phase_ns[i]);
+    }
+
+    if (tracing_) {
+      TraceEvent ev{};
+      ev.ts_ns = ts;
+      ev.key = key_;
+      ev.leaf_off = leaf_off_;
+      ev.latency_ns = latency;
+      ev.htm_attempts = static_cast<std::uint32_t>(h1.attempts - htm0_.attempts);
+      ev.persists =
+          static_cast<std::uint32_t>(nvm::tls_stats().persist - persists0_);
+      ev.op = static_cast<std::uint16_t>(op_);
+      ev.result = static_cast<std::uint16_t>(result_);
+      ev.aborts_conflict = static_cast<std::uint16_t>(h1.aborts_conflict -
+                                                      htm0_.aborts_conflict);
+      ev.aborts_capacity = static_cast<std::uint16_t>(h1.aborts_capacity -
+                                                      htm0_.aborts_capacity);
+      ev.aborts_other =
+          static_cast<std::uint16_t>(h1.aborts_other - htm0_.aborts_other);
+      ev.fallbacks = static_cast<std::uint16_t>(h1.fallbacks - htm0_.fallbacks);
+      ev.phase_htm_ns = static_cast<std::uint32_t>(phase_ns[0]);
+      ev.phase_lock_ns = static_cast<std::uint32_t>(phase_ns[1]);
+      ev.phase_persist_ns = static_cast<std::uint32_t>(phase_ns[2]);
+      ev.phase_smo_ns = static_cast<std::uint32_t>(phase_ns[3]);
+      trace(ev);
+    }
   }
 
  private:
   bool armed_ = false;
+  bool tracing_ = false;
+  bool profiling_ = false;
   OpKind op_ = OpKind::kOther;
   OpResult result_ = OpResult::kUnknown;
   std::uint64_t key_ = 0;
   std::uint64_t leaf_off_ = 0;
   std::uint64_t t0_ = 0;
   std::uint64_t persists0_ = 0;
-  std::uint64_t htm0_ = 0;
+  htm::HtmStats htm0_{};
+  PhaseTicks phase0_{};
 };
 
 }  // namespace rnt::obs

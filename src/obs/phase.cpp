@@ -1,0 +1,59 @@
+#include "obs/phase.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rnt::obs {
+
+namespace detail {
+std::atomic<bool> g_phase_enabled{false};
+thread_local PhaseTicks t_phase{};
+}  // namespace detail
+
+namespace {
+
+// One log-bucketed registry histogram per phase, keyed by the Phase enum.
+struct PhaseHists {
+  Histogram h[kPhaseCount] = {
+      Histogram("lat.phase.htm"),
+      Histogram("lat.phase.lock_wait"),
+      Histogram("lat.phase.persist"),
+      Histogram("lat.phase.smo"),
+  };
+};
+
+PhaseHists& phase_hists() {
+  static PhaseHists p;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kHtm: return "htm";
+    case Phase::kLockWait: return "lock_wait";
+    case Phase::kPersist: return "persist";
+    case Phase::kSmo: return "smo";
+  }
+  return "?";
+}
+
+void record_phase_ns(Phase p, std::uint64_t ns) {
+  phase_hists().h[static_cast<int>(p)].record(ns);
+}
+
+std::uint64_t phase_ticks_to_ns(std::uint64_t ticks) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) / tsc_per_ns());
+}
+
+#if !defined(RNTREE_NO_PHASE_TIMING)
+void set_phase_timing(bool on) noexcept {
+  if (on) {
+    (void)phase_hists();   // register lat.phase.* before the first op
+    (void)tsc_per_ns();    // calibrate outside any timed region
+  }
+  detail::g_phase_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+}  // namespace rnt::obs

@@ -1,0 +1,118 @@
+// Per-operation phase attribution — where inside an op the time went.
+//
+// The paper's cost model says persist ordering dominates transaction cost
+// and fallback serialization caps scalability; neither is visible in an
+// end-of-run latency histogram.  This module splits every tree operation
+// into four wall-time phases, accumulated on thread-local cycle counters:
+//
+//   kHtm      — inside the HTM retry machine: attempts, aborts, conflict
+//               backoff, bounded lock-subscription waits, and the committed
+//               section itself (htm/rtm.hpp wraps both retry machines)
+//   kLockWait — blocked acquiring a lock: the HTM fallback spinlock and the
+//               leaf version-lock in RNTree's modify/remove paths
+//   kPersist  — inside nvm::persist() compounds (flush + fence drain,
+//               including the injected NVM write latency)
+//   kSmo      — structure modifications (leaf split / shrink-compact),
+//               INCLUSIVE of the persists they issue
+//
+// Phases deliberately overlap where the code does (an SMO's persists count
+// in both kSmo and kPersist); they are attributions, not a partition.
+//
+// Cost model: recording is OFF by default.  Each instrumentation point pays
+// one relaxed atomic load + predicted branch when disabled; enabling
+// (obs::set_phase_timing(true), done by the bench flags --sample-ms /
+// --perfetto) arms RDTSC reads around each phase.  Defining
+// RNTREE_NO_PHASE_TIMING compiles the whole mechanism out to nothing so the
+// perf gate can prove the disabled cost is zero.
+//
+// Per-op consumption: obs::OpTrace snapshots the thread-local tick
+// accumulators at op start, diffs them at op end, and records each nonzero
+// phase into the log-bucketed `lat.phase.*` registry histograms (exported
+// with p50/p90/p99/p999 by --stats-json) and into the TraceEvent phase
+// fields the Chrome-trace exporter renders as sub-slices.  The DES
+// simulator attributes its virtual-time delays through record_phase_ns()
+// directly — same histogram families, simulated clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/timing.hpp"
+
+namespace rnt::obs {
+
+enum class Phase : std::uint8_t { kHtm = 0, kLockWait, kPersist, kSmo };
+inline constexpr int kPhaseCount = 4;
+
+const char* to_string(Phase p) noexcept;
+
+/// Per-thread phase tick totals (TSC units; convert via phase_ticks_to_ns).
+struct PhaseTicks {
+  std::uint64_t t[kPhaseCount];
+};
+
+namespace detail {
+extern std::atomic<bool> g_phase_enabled;
+// Constant-initialised POD TLS: no guard check on the hot path.
+extern thread_local PhaseTicks t_phase;
+}  // namespace detail
+
+/// Record @p ns into the lat.phase.* histogram for @p p (registry-backed,
+/// thread-sharded).  Used by OpTrace's per-op diff and by the DES simulator
+/// for virtual-time attribution.
+void record_phase_ns(Phase p, std::uint64_t ns);
+
+/// TSC ticks -> nanoseconds via the calibrated ratio.
+std::uint64_t phase_ticks_to_ns(std::uint64_t ticks) noexcept;
+
+#if defined(RNTREE_NO_PHASE_TIMING)
+
+inline bool phase_timing_enabled() noexcept { return false; }
+inline void set_phase_timing(bool) noexcept {}
+inline PhaseTicks phase_ticks_snapshot() noexcept { return {}; }
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase) noexcept {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+};
+
+#else
+
+inline bool phase_timing_enabled() noexcept {
+  return detail::g_phase_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm/disarm phase timing process-wide.  Enabling eagerly registers the
+/// lat.phase.* histograms so they appear in exports even before the first
+/// op completes.
+void set_phase_timing(bool on) noexcept;
+
+/// This thread's cumulative phase ticks (diff around an op for its share).
+inline PhaseTicks phase_ticks_snapshot() noexcept { return detail::t_phase; }
+
+/// RAII cycle timer: adds the scope's TSC ticks to this thread's
+/// accumulator for one phase.  When timing is disabled the constructor is
+/// one relaxed load + branch and the destructor one branch.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase p) noexcept {
+    if (!phase_timing_enabled()) return;
+    slot_ = &detail::t_phase.t[static_cast<int>(p)];
+    t0_ = rdtsc();
+  }
+  ~PhaseTimer() {
+    if (slot_ != nullptr) *slot_ += rdtsc() - t0_;
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::uint64_t* slot_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+#endif  // RNTREE_NO_PHASE_TIMING
+
+}  // namespace rnt::obs

@@ -1,0 +1,234 @@
+#include "obs/sampler.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+
+namespace rnt::obs {
+
+namespace {
+
+// The counters a sample reads.  Registered here (idempotently) so the
+// sampler works even before the instrumented module has touched them.
+struct SampledIds {
+  MetricId ops = register_metric("op.completed", Kind::kCounter);
+  MetricId aborts_conflict = register_metric("htm.aborts_conflict", Kind::kCounter);
+  MetricId aborts_capacity = register_metric("htm.aborts_capacity", Kind::kCounter);
+  MetricId aborts_other = register_metric("htm.aborts_other", Kind::kCounter);
+  MetricId fallbacks = register_metric("htm.fallbacks", Kind::kCounter);
+  MetricId persists = register_metric("nvm.persist", Kind::kCounter);
+  MetricId pool_bytes = register_metric("pool.alloc_bytes", Kind::kCounter);
+};
+
+const SampledIds& ids() {
+  static SampledIds s;
+  return s;
+}
+
+struct Sample {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;
+  std::uint64_t aborts_other = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t persists = 0;
+  std::uint64_t pool_bytes = 0;
+};
+
+Sample take_sample() {
+  const SampledIds& id = ids();
+  Sample s;
+  s.ts_ns = now_ns();
+  s.ops = counter_value(id.ops);
+  s.aborts_conflict = counter_value(id.aborts_conflict);
+  s.aborts_capacity = counter_value(id.aborts_capacity);
+  s.aborts_other = counter_value(id.aborts_other);
+  s.fallbacks = counter_value(id.fallbacks);
+  s.persists = counter_value(id.persists);
+  s.pool_bytes = counter_value(id.pool_bytes);
+  return s;
+}
+
+}  // namespace
+
+struct Sampler::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Sample> ring;
+  SamplerConfig cfg;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t total = 0;
+  bool running = false;
+  std::thread thr;
+
+  void push_locked(const Sample& s) {
+    ring.push_back(s);
+    ++total;
+    while (ring.size() > cfg.capacity) ring.pop_front();
+  }
+
+  void run() {
+    std::unique_lock lk(mu);
+    while (running) {
+      lk.unlock();
+      const Sample s = take_sample();  // aggregates outside our own mutex
+      lk.lock();
+      if (!running) break;  // stop() raced: it takes the final sample itself
+      push_locked(s);
+      cv.wait_for(lk, std::chrono::milliseconds(cfg.interval_ms),
+                  [&] { return !running; });
+    }
+  }
+};
+
+Sampler::Impl* Sampler::impl() const {
+  // Lazily created and leaked: a sampler thread still running at process
+  // exit must not race destruction of its own state (stop() is the clean
+  // path; the destructor takes it for instances that go out of scope).
+  if (impl_ == nullptr) impl_ = new Impl;
+  return impl_;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start(SamplerConfig cfg) {
+  Impl* i = impl();
+  std::unique_lock lk(i->mu);
+  if (i->running) return;
+  if (i->thr.joinable()) i->thr.join();  // previous run fully retired
+  if (cfg.interval_ms == 0) cfg.interval_ms = 1;
+  if (cfg.capacity < 2) cfg.capacity = 2;
+  i->cfg = cfg;
+  i->ring.clear();
+  i->total = 0;
+  i->t0_ns = now_ns();
+  i->running = true;
+  lk.unlock();
+  Sample first = take_sample();  // t=0 baseline, before workers start
+  lk.lock();
+  i->push_locked(first);
+  i->thr = std::thread([i] { i->run(); });
+}
+
+void Sampler::stop() {
+  Impl* i = impl();
+  std::unique_lock lk(i->mu);
+  if (!i->running) return;
+  i->running = false;
+  i->cv.notify_all();
+  lk.unlock();
+  i->thr.join();
+  const Sample last = take_sample();  // final window covers the run's tail
+  lk.lock();
+  i->push_locked(last);
+}
+
+bool Sampler::running() const {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  return i->running;
+}
+
+std::uint32_t Sampler::interval_ms() const {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  return i->cfg.interval_ms;
+}
+
+std::size_t Sampler::sample_count() const {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  return i->ring.size();
+}
+
+std::uint64_t Sampler::total_samples() const {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  return i->total;
+}
+
+void Sampler::clear() {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  i->ring.clear();
+  i->total = 0;
+}
+
+std::vector<RateWindow> Sampler::windows() const {
+  Impl* i = impl();
+  std::lock_guard lk(i->mu);
+  std::vector<RateWindow> out;
+  if (i->ring.size() < 2) return out;
+  out.reserve(i->ring.size() - 1);
+  for (std::size_t k = 1; k < i->ring.size(); ++k) {
+    const Sample& a = i->ring[k - 1];
+    const Sample& b = i->ring[k];
+    RateWindow w;
+    w.t_s = static_cast<double>(b.ts_ns - i->t0_ns) * 1e-9;
+    w.dt_s = static_cast<double>(b.ts_ns - a.ts_ns) * 1e-9;
+    if (w.dt_s <= 0) continue;  // clock glitch: skip, never divide by zero
+    const double inv_dt = 1.0 / w.dt_s;
+    w.ops = b.ops - a.ops;
+    w.ops_per_s = static_cast<double>(w.ops) * inv_dt;
+    w.abort_conflict_per_s =
+        static_cast<double>(b.aborts_conflict - a.aborts_conflict) * inv_dt;
+    w.abort_capacity_per_s =
+        static_cast<double>(b.aborts_capacity - a.aborts_capacity) * inv_dt;
+    w.abort_other_per_s =
+        static_cast<double>(b.aborts_other - a.aborts_other) * inv_dt;
+    w.fallback_per_s = static_cast<double>(b.fallbacks - a.fallbacks) * inv_dt;
+    const std::uint64_t dpersists = b.persists - a.persists;
+    w.persists_per_op =
+        w.ops != 0 ? static_cast<double>(dpersists) / static_cast<double>(w.ops)
+                   : 0.0;
+    w.pool_bytes_per_s =
+        static_cast<double>(b.pool_bytes - a.pool_bytes) * inv_dt;
+    out.push_back(w);
+  }
+  return out;
+}
+
+Sampler& sampler() {
+  static Sampler s;
+  return s;
+}
+
+std::string timeseries_json() {
+  Sampler& s = sampler();
+  const std::vector<RateWindow> ws = s.windows();
+  if (ws.empty()) return {};
+  std::string out;
+  out.reserve(256 + ws.size() * 192);
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\n    \"interval_ms\": %u,\n    \"samples_retained\": %zu,\n"
+                "    \"samples_total\": %llu,\n    \"windows\": [",
+                s.interval_ms(), s.sample_count(),
+                static_cast<unsigned long long>(s.total_samples()));
+  out += buf;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const RateWindow& w = ws[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n      {\"t_s\": %.6f, \"dt_s\": %.6f, \"ops\": %llu, "
+        "\"ops_per_s\": %.3f, \"abort_conflict_per_s\": %.3f, "
+        "\"abort_capacity_per_s\": %.3f, \"abort_other_per_s\": %.3f, "
+        "\"fallback_per_s\": %.3f, \"persists_per_op\": %.4f, "
+        "\"pool_bytes_per_s\": %.3f}",
+        i == 0 ? "" : ",", w.t_s, w.dt_s,
+        static_cast<unsigned long long>(w.ops), w.ops_per_s,
+        w.abort_conflict_per_s, w.abort_capacity_per_s, w.abort_other_per_s,
+        w.fallback_per_s, w.persists_per_op, w.pool_bytes_per_s);
+    out += buf;
+  }
+  out += "\n    ]\n  }";
+  return out;
+}
+
+}  // namespace rnt::obs

@@ -1,0 +1,88 @@
+// Continuous time-series sampler over the metrics registry.
+//
+// A background thread snapshots a small, fixed set of registry counters
+// every interval_ms into a bounded in-memory ring.  Consecutive samples are
+// differenced into windowed rates — ops/s, abort rate by cause, fallback
+// rate, persists/op, pool bytes/s — the quantities end-of-run totals cannot
+// answer ("when did the abort storm happen?", "where did the p99 go?").
+//
+// The sampler is passive with respect to the workload: each sample is a
+// handful of counter_value() aggregations (registry mutex held briefly);
+// worker threads are never touched.  Thread exit is safe mid-sample: the
+// registry folds an exiting thread's cells into retired totals under the
+// same mutex the sampler aggregates under, so counts are never lost or
+// double-seen.
+//
+// Lifecycle: start() spawns the thread (restarting resets the ring),
+// stop() takes one final sample and joins.  Benches drive it via
+// --sample-ms=N; the collected windows are exported as the `timeseries`
+// section of the --stats-json document (see timeseries_json()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnt::obs {
+
+struct SamplerConfig {
+  std::uint32_t interval_ms = 100;
+  /// Samples retained (ring; oldest evicted).  600 x 100 ms = one minute.
+  std::size_t capacity = 600;
+};
+
+/// One differenced window between two consecutive samples.
+struct RateWindow {
+  double t_s = 0;    ///< window end, seconds since sampler start
+  double dt_s = 0;   ///< window length (wall time between the samples)
+  std::uint64_t ops = 0;  ///< op completions in the window
+  double ops_per_s = 0;
+  double abort_conflict_per_s = 0;
+  double abort_capacity_per_s = 0;
+  double abort_other_per_s = 0;
+  double fallback_per_s = 0;
+  double persists_per_op = 0;
+  double pool_bytes_per_s = 0;
+};
+
+class Sampler {
+ public:
+  Sampler() = default;
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Spawn the sampling thread.  Resets the ring; no-op if already running.
+  void start(SamplerConfig cfg = {});
+
+  /// Take a final sample, join the thread.  Idempotent.  The ring is kept
+  /// so windows()/timeseries_json() read the finished run.
+  void stop();
+
+  bool running() const;
+  std::uint32_t interval_ms() const;
+  std::size_t sample_count() const;     ///< samples currently retained
+  std::uint64_t total_samples() const;  ///< samples ever taken this run
+
+  /// Windows between consecutive retained samples (sample_count()-1 of
+  /// them).  Safe to call while running (snapshot under the ring mutex).
+  std::vector<RateWindow> windows() const;
+
+  /// Drop all retained samples (does not stop the thread).
+  void clear();
+
+ private:
+  struct Impl;
+  Impl* impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+/// Process-wide sampler instance (what the bench flags drive).
+Sampler& sampler();
+
+/// The `timeseries` JSON object for the process-wide sampler: interval,
+/// sample counts, and the window array.  Empty string when fewer than two
+/// samples exist (no window to report).
+std::string timeseries_json();
+
+}  // namespace rnt::obs

@@ -92,7 +92,9 @@ std::size_t trace_capacity() noexcept {
 
 bool trace_enabled() noexcept { return trace_capacity() != 0; }
 
-void trace(const TraceEvent& ev) noexcept {
+namespace {
+
+void record_event(const TraceEvent& ev, bool keep_thread_id) noexcept {
   const std::size_t cap = g_cap.load(std::memory_order_relaxed);
   if (cap == 0) return;
   const TlsRing tr = t_ring;
@@ -101,10 +103,16 @@ void trace(const TraceEvent& ev) noexcept {
                 : acquire_ring(cap);
   TraceEvent e = ev;
   e.seq = r->seq++;
-  e.thread_id = r->tid;
+  if (!keep_thread_id) e.thread_id = r->tid;
   r->buf[r->head % r->buf.size()] = e;
   ++r->head;
 }
+
+}  // namespace
+
+void trace(const TraceEvent& ev) noexcept { record_event(ev, false); }
+
+void trace_virtual(const TraceEvent& ev) noexcept { record_event(ev, true); }
 
 std::vector<TraceEvent> collect_traces() {
   std::lock_guard lk(g_mu);
@@ -126,13 +134,17 @@ std::size_t dump_traces(std::FILE* out) {
   for (const TraceEvent& e : evs) {
     std::fprintf(out,
                  "t%u #%llu %-7s %-7s key=%llu leaf=%llu htm=%u persists=%u "
-                 "lat=%lluns\n",
+                 "lat=%lluns abrt=%u/%u/%u fb=%u "
+                 "phase=htm:%u,lock:%u,persist:%u,smo:%u\n",
                  e.thread_id, static_cast<unsigned long long>(e.seq),
                  to_string(static_cast<OpKind>(e.op)),
                  to_string(static_cast<OpResult>(e.result)),
                  static_cast<unsigned long long>(e.key),
                  static_cast<unsigned long long>(e.leaf_off), e.htm_attempts,
-                 e.persists, static_cast<unsigned long long>(e.latency_ns));
+                 e.persists, static_cast<unsigned long long>(e.latency_ns),
+                 e.aborts_conflict, e.aborts_capacity, e.aborts_other,
+                 e.fallbacks, e.phase_htm_ns, e.phase_lock_ns,
+                 e.phase_persist_ns, e.phase_smo_ns);
   }
   return evs.size();
 }
@@ -140,20 +152,27 @@ std::size_t dump_traces(std::FILE* out) {
 void traces_json(std::string& out) {
   const std::vector<TraceEvent> evs = collect_traces();
   out += '[';
-  char buf[256];
+  char buf[512];
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& e = evs[i];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"thread\":%u,\"seq\":%llu,\"op\":\"%s\",\"result\":\"%s\","
                   "\"key\":%llu,\"leaf\":%llu,\"htm_attempts\":%u,"
-                  "\"persists\":%u,\"latency_ns\":%llu}",
+                  "\"persists\":%u,\"latency_ns\":%llu,"
+                  "\"aborts_conflict\":%u,\"aborts_capacity\":%u,"
+                  "\"aborts_other\":%u,\"fallbacks\":%u,"
+                  "\"phase_htm_ns\":%u,\"phase_lock_ns\":%u,"
+                  "\"phase_persist_ns\":%u,\"phase_smo_ns\":%u}",
                   i == 0 ? "" : ",", e.thread_id,
                   static_cast<unsigned long long>(e.seq),
                   to_string(static_cast<OpKind>(e.op)),
                   to_string(static_cast<OpResult>(e.result)),
                   static_cast<unsigned long long>(e.key),
                   static_cast<unsigned long long>(e.leaf_off), e.htm_attempts,
-                  e.persists, static_cast<unsigned long long>(e.latency_ns));
+                  e.persists, static_cast<unsigned long long>(e.latency_ns),
+                  e.aborts_conflict, e.aborts_capacity, e.aborts_other,
+                  e.fallbacks, e.phase_htm_ns, e.phase_lock_ns,
+                  e.phase_persist_ns, e.phase_smo_ns);
     out += buf;
   }
   out += ']';

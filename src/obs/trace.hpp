@@ -49,7 +49,7 @@ const char* to_string(OpResult r) noexcept;
 
 struct TraceEvent {
   std::uint64_t seq;           ///< per-thread sequence number (monotonic)
-  std::uint64_t ts_ns;         ///< wall-clock at completion
+  std::uint64_t ts_ns;         ///< clock at completion (wall, or sim time)
   std::uint64_t key;
   std::uint64_t leaf_off;      ///< pool offset of the leaf touched (0 = n/a)
   std::uint64_t latency_ns;
@@ -58,10 +58,20 @@ struct TraceEvent {
   std::uint32_t persists;      ///< persistent instructions during the op
   std::uint16_t op;            ///< OpKind
   std::uint16_t result;        ///< OpResult
-  std::uint32_t reserved_ = 0;  // pad to one cache line
-  std::uint32_t reserved2_ = 0;
+  // Abort-cause attribution during the op (diffed from HtmStats).
+  std::uint16_t aborts_conflict;
+  std::uint16_t aborts_capacity;
+  std::uint16_t aborts_other;
+  std::uint16_t fallbacks;
+  // Phase attribution (obs/phase.hpp): where inside the op the time went.
+  // u32 nanoseconds caps a phase at ~4.3 s — far beyond any tree op.
+  std::uint32_t phase_htm_ns;
+  std::uint32_t phase_lock_ns;
+  std::uint32_t phase_persist_ns;
+  std::uint32_t phase_smo_ns;
+  std::uint8_t pad_[48];  // two cache lines per event
 };
-static_assert(sizeof(TraceEvent) == 64, "one event per cache line");
+static_assert(sizeof(TraceEvent) == 128, "two cache lines per event");
 
 /// Events retained per thread; 0 (default) disables recording entirely.
 /// Applies to rings created after the call — set it before spawning workers.
@@ -71,6 +81,12 @@ bool trace_enabled() noexcept;
 
 /// Record one event into this thread's ring (no-op when disabled).
 void trace(const TraceEvent& ev) noexcept;
+
+/// Like trace(), but preserves the caller-supplied thread_id instead of
+/// stamping the ring owner's.  Used by virtual-actor recorders (the DES
+/// simulator's workers all run on one real thread but are distinct
+/// timeline tracks).
+void trace_virtual(const TraceEvent& ev) noexcept;
 
 /// All retained events (live + exited threads), oldest first per thread.
 /// Racy against concurrent recorders; quiesce for an exact picture.

@@ -1,15 +1,52 @@
 #include "sim/models.hpp"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/zipfian.hpp"
 
 namespace rnt::sim {
 
 namespace {
+
+// Real-time observability of the virtual-time simulation: the same counter
+// families the live trees feed, so --sample-ms and --perfetto work on the
+// DES benches too.  Counters tick in real time as the scheduler executes
+// (giving the sampler live rates); latencies and phase shares are recorded
+// in *virtual* nanoseconds (the modelled quantities).
+struct SimMetrics {
+  obs::Counter ops{"op.completed"};
+  obs::Counter finds{"op.find"};
+  obs::Counter updates{"op.update"};
+  obs::Counter aborts_conflict{"htm.aborts_conflict"};
+  obs::Counter fallbacks{"htm.fallbacks"};
+  obs::Counter persists{"nvm.persist"};
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+
+// Distinct trace tracks per simulation run: virtual clocks restart at zero
+// every run, so reusing thread ids would stack unrelated runs onto the same
+// timeline.
+std::uint32_t next_tid_base() {
+  static std::atomic<std::uint32_t> run{0};
+  return 1000 * (run.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+/// Per-op virtual-time phase accumulator (indices follow obs::Phase).
+struct SimPhases {
+  SimTime t[obs::kPhaseCount] = {};
+  void add(obs::Phase p, SimTime ns) { t[static_cast<int>(p)] += ns; }
+};
 
 /// Simulated leaf: the lock plus a virtual seqlock over the reader-visible
 /// slot array.  pub_seq odd = a writer's publish window is open.
@@ -25,6 +62,7 @@ struct Ctx {
   ChannelPool channels;
   std::vector<LeafSim> leaves;
   SimMutex htm_fallback;  ///< FPTree's global HTM fallback lock
+  std::uint32_t tid_base = 0;  ///< trace track base for this run's workers
   // aggregated results
   std::uint64_t completed = 0;
   std::uint64_t find_retries = 0;
@@ -95,7 +133,10 @@ Task worker(Ctx& ctx, int wid) {
 
     const bool is_update =
         rng.next_below(100) < static_cast<std::uint64_t>(ctx.cfg.update_pct);
-    LeafSim& leaf = ctx.leaves[keys.next_leaf()];
+    const std::size_t leaf_idx = keys.next_leaf();
+    LeafSim& leaf = ctx.leaves[leaf_idx];
+    SimMetrics& sm = sim_metrics();
+    SimPhases ph;
 
     if (!fptree) {
       // ----------------- RNTree / RNTree+DS -----------------
@@ -104,28 +145,51 @@ Task worker(Ctx& ctx, int wid) {
         // flush the KV entry.  (The decoupled ablation moves the KV flush
         // inside the critical section instead.)
         co_await Delay{s, c.traverse + c.cas_alloc + c.kv_write};
-        if (!ctx.cfg.flush_inside_lock)
-          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+        if (!ctx.cfg.flush_inside_lock) {
+          const SimTime d = ctx.channels.persist_latency(s.now());
+          ph.add(obs::Phase::kPersist, d);
+          sm.persists.inc();
+          co_await Delay{s, d};
+        }
         // Step 4: short critical section.
-        co_await leaf.lock.acquire(s);
-        if (ctx.cfg.flush_inside_lock)
-          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+        {
+          const SimTime t0 = s.now();
+          co_await leaf.lock.acquire(s);
+          ph.add(obs::Phase::kLockWait, s.now() - t0);
+        }
+        if (ctx.cfg.flush_inside_lock) {
+          const SimTime d = ctx.channels.persist_latency(s.now());
+          ph.add(obs::Phase::kPersist, d);
+          sm.persists.inc();
+          co_await Delay{s, d};
+        }
         co_await Delay{s, c.leaf_search + c.slot_update};
         if (dual) {
           // Slot flush does not block readers; only the transient copy does.
-          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+          const SimTime d = ctx.channels.persist_latency(s.now());
+          ph.add(obs::Phase::kPersist, d);
+          sm.persists.inc();
+          co_await Delay{s, d};
           leaf.pub_seq++;
           co_await Delay{s, c.slot_copy};
           leaf.pub_seq++;
         } else {
           // Readers see the window of the whole slot flush.
           leaf.pub_seq++;
-          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+          const SimTime d = ctx.channels.persist_latency(s.now());
+          ph.add(obs::Phase::kPersist, d);
+          sm.persists.inc();
+          co_await Delay{s, d};
           leaf.pub_seq++;
         }
         if (rng.next_below(32) == 0) {  // amortised compaction
+          const SimTime t0 = s.now();
           co_await Delay{s, c.compact};
-          co_await Delay{s, ctx.channels.persist_latency(s.now())};
+          const SimTime d = ctx.channels.persist_latency(s.now());
+          ph.add(obs::Phase::kPersist, d);
+          sm.persists.inc();
+          co_await Delay{s, d};
+          ph.add(obs::Phase::kSmo, s.now() - t0);  // inclusive of its persist
         }
         leaf.last_commit = s.now();
         leaf.lock.release(s);
@@ -155,6 +219,8 @@ Task worker(Ctx& ctx, int wid) {
       // fallback lock (held for the traversal) when the retry budget runs
       // out.  The explicit leaf lock is then taken and the WHOLE modify,
       // flushes included, runs inside it (S3.4's "selective concurrency").
+      const SimTime loop0 = s.now();
+      SimTime lock_wait = 0;
       for (int attempts = 0;;) {
         // Subscription: an attempt while the fallback lock is held aborts
         // at once; the implementation then spins until release before the
@@ -164,20 +230,33 @@ Task worker(Ctx& ctx, int wid) {
         if (!leaf.lock.locked() && !ctx.htm_fallback.locked() &&
             rng.next_below(128) != 0)
           break;  // traversal committed
+        sm.aborts_conflict.inc();
         if (++attempts >= 3) {
+          const SimTime tl = s.now();
           co_await ctx.htm_fallback.acquire(s);
+          lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
+          sm.fallbacks.inc();
           co_await Delay{s, c.traverse};
           ctx.htm_fallback.release(s);
           break;
         }
         co_await Delay{s, c.backoff};
       }
-      co_await leaf.lock.acquire(s);
+      ph.add(obs::Phase::kHtm, s.now() - loop0 - lock_wait);
+      ph.add(obs::Phase::kLockWait, lock_wait);
+      {
+        const SimTime t0 = s.now();
+        co_await leaf.lock.acquire(s);
+        ph.add(obs::Phase::kLockWait, s.now() - t0);
+      }
       co_await Delay{s, c.fp_scan + c.kv_write};
-      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // KV
-      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // fp
-      co_await Delay{s, ctx.channels.persist_latency(s.now())};  // bitmap
+      for (int flush = 0; flush < 3; ++flush) {  // KV, fp, bitmap
+        const SimTime d = ctx.channels.persist_latency(s.now());
+        ph.add(obs::Phase::kPersist, d);
+        sm.persists.inc();
+        co_await Delay{s, d};
+      }
       leaf.last_commit = s.now();
       leaf.lock.release(s);
     } else {
@@ -191,6 +270,8 @@ Task worker(Ctx& ctx, int wid) {
       // still wait out the leaf writer — the serialization convoy that
       // caps FPTree's scalability under skew (Figs 8(b), 9, 10).
       //
+      const SimTime loop0 = s.now();
+      SimTime lock_wait = 0;
       for (int attempts = 0;;) {
         bool committed = false;
         while (ctx.htm_fallback.locked()) co_await Delay{s, c.backoff};
@@ -203,17 +284,25 @@ Task worker(Ctx& ctx, int wid) {
         }
         if (committed) break;
         ctx.find_retries++;
+        sm.aborts_conflict.inc();
         if (++attempts >= 3) {
+          const SimTime tl = s.now();
           co_await ctx.htm_fallback.acquire(s);
+          lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
+          sm.fallbacks.inc();
           co_await Delay{s, c.traverse};
+          const SimTime tw = s.now();
           while (leaf.lock.locked()) co_await Delay{s, c.backoff};
+          lock_wait += s.now() - tw;  // convoy: waiting out the leaf writer
           co_await Delay{s, c.fp_scan};
           ctx.htm_fallback.release(s);
           break;
         }
         co_await Delay{s, c.backoff};
       }
+      ph.add(obs::Phase::kHtm, s.now() - loop0 - lock_wait);
+      ph.add(obs::Phase::kLockWait, lock_wait);
     }
 
     // --- bookkeeping ---
@@ -223,6 +312,28 @@ Task worker(Ctx& ctx, int wid) {
     else
       ctx.read_latency.record(latency);
     ctx.completed++;
+    sm.ops.inc();
+    (is_update ? sm.updates : sm.finds).inc();
+    if (obs::phase_timing_enabled())
+      for (int p = 0; p < obs::kPhaseCount; ++p)
+        if (ph.t[p] != 0)
+          obs::record_phase_ns(static_cast<obs::Phase>(p), ph.t[p]);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent ev{};
+      ev.ts_ns = s.now();  // virtual clock
+      ev.key = leaf_idx;
+      ev.leaf_off = leaf_idx;
+      ev.latency_ns = latency;
+      ev.thread_id = ctx.tid_base + static_cast<std::uint32_t>(wid);
+      ev.op = static_cast<std::uint16_t>(is_update ? obs::OpKind::kUpdate
+                                                   : obs::OpKind::kFind);
+      ev.result = static_cast<std::uint16_t>(obs::OpResult::kOk);
+      ev.phase_htm_ns = static_cast<std::uint32_t>(ph.t[0]);
+      ev.phase_lock_ns = static_cast<std::uint32_t>(ph.t[1]);
+      ev.phase_persist_ns = static_cast<std::uint32_t>(ph.t[2]);
+      ev.phase_smo_ns = static_cast<std::uint32_t>(ph.t[3]);
+      obs::trace_virtual(ev);
+    }
   }
 }
 
@@ -231,6 +342,7 @@ Task worker(Ctx& ctx, int wid) {
 SimResult run_simulation(const SimConfig& cfg) {
   Scheduler sched;
   Ctx ctx(cfg, sched);
+  ctx.tid_base = next_tid_base();
   for (int w = 0; w < cfg.threads; ++w) sched.spawn(worker(ctx, w));
   sched.run_until(cfg.horizon_ns);
 

@@ -5,14 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "nvm/persist.hpp"
+#include "obs/buildinfo.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/op_trace.hpp"
+#include "obs/phase.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace rnt::obs {
@@ -375,8 +381,9 @@ TEST(Export, PrometheusExposesCounters) {
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string::npos) eol = text.size();
     const std::string line = text.substr(pos, eol - pos);
-    if (!line.empty() && line[0] != '#')
+    if (!line.empty() && line[0] != '#') {
       EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
     pos = eol + 1;
   }
 }
@@ -396,6 +403,330 @@ TEST(Export, WriteJsonSnapshotRoundTrips) {
   std::remove(path.c_str());
   EXPECT_TRUE(MiniJson(doc).valid()) << doc;
   EXPECT_NE(doc.find("\"test.exp.file\""), std::string::npos);
+}
+
+TEST(Export, PrometheusHistogramBucketsAreCumulative) {
+  Histogram h("test.exp.prom.hist");
+  h.record(10);
+  h.record(10);
+  h.record(1000);
+  h.record(50000);
+  const std::string text = to_prometheus(snapshot());
+  EXPECT_NE(text.find("# TYPE rnt_test_exp_prom_hist histogram"),
+            std::string::npos);
+  // Collect this family's _bucket lines in exposition order.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+  std::size_t pos = 0;
+  const std::string prefix = "rnt_test_exp_prom_hist_bucket{le=\"";
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    pos += prefix.size();
+    const std::size_t q = text.find('"', pos);
+    const std::string le = text.substr(pos, q - pos);
+    const std::size_t sp = text.find(' ', q);
+    const std::size_t eol = text.find('\n', sp);
+    buckets.emplace_back(
+        le == "+Inf" ? 1e300 : std::strtod(le.c_str(), nullptr),
+        std::strtoull(text.substr(sp + 1, eol - sp - 1).c_str(), nullptr, 10));
+  }
+  ASSERT_GE(buckets.size(), 4u);  // 3 distinct value buckets + +Inf
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GT(buckets[i].first, buckets[i - 1].first);     // le increasing
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);   // cumulative
+  }
+  EXPECT_EQ(buckets.back().second, 4u);  // +Inf == _count
+  EXPECT_NE(text.find("rnt_test_exp_prom_hist_sum 51020\n"), std::string::npos);
+  EXPECT_NE(text.find("rnt_test_exp_prom_hist_count 4\n"), std::string::npos);
+}
+
+TEST(Export, JsonHistogramHasExactSum) {
+  Histogram h("test.exp.json.sum");
+  h.record(7);
+  h.record(13);
+  const std::string doc = to_json(snapshot());
+  const std::size_t at = doc.find("\"test.exp.json.sum\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(doc.find("\"sum\": 20", at), std::string::npos) << doc;
+}
+
+// --- build provenance -----------------------------------------------------
+
+TEST(BuildInfo, StandardMetaHasProvenanceFields) {
+  const std::vector<MetaField> meta = standard_meta();
+  auto find = [&](const char* key) -> const MetaField* {
+    for (const MetaField& f : meta)
+      if (f.key == key) return &f;
+    return nullptr;
+  };
+  for (const char* key :
+       {"git_sha", "build_type", "compiler", "host_cores", "timestamp"})
+    EXPECT_NE(find(key), nullptr) << key;
+  const MetaField* cores = find("host_cores");
+  ASSERT_NE(cores, nullptr);
+  EXPECT_TRUE(cores->is_number);
+  EXPECT_GT(std::strtoul(cores->value.c_str(), nullptr, 10), 0u);
+  const MetaField* ts = find("timestamp");
+  ASSERT_NE(ts, nullptr);
+  // ISO-8601 UTC: 2026-08-08T12:34:56Z
+  ASSERT_EQ(ts->value.size(), 20u) << ts->value;
+  EXPECT_EQ(ts->value[4], '-');
+  EXPECT_EQ(ts->value[10], 'T');
+  EXPECT_EQ(ts->value[19], 'Z');
+  // Provenance-tagged documents must still be valid JSON.
+  EXPECT_TRUE(MiniJson(to_json(snapshot(), meta)).valid());
+}
+
+// --- phase attribution ----------------------------------------------------
+
+#if !defined(RNTREE_NO_PHASE_TIMING)
+
+class PhaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_phase_timing(true); }
+  void TearDown() override { set_phase_timing(false); }
+};
+
+TEST_F(PhaseTest, TimerAccumulatesIntoThreadTicks) {
+  const PhaseTicks before = phase_ticks_snapshot();
+  {
+    PhaseTimer t(Phase::kPersist);
+    volatile unsigned sink = 0;
+    for (int i = 0; i < 50000; ++i) sink = sink + 1;
+  }
+  const PhaseTicks after = phase_ticks_snapshot();
+  EXPECT_GT(after.t[static_cast<int>(Phase::kPersist)],
+            before.t[static_cast<int>(Phase::kPersist)]);
+  // Untouched phases stay untouched.
+  EXPECT_EQ(after.t[static_cast<int>(Phase::kSmo)],
+            before.t[static_cast<int>(Phase::kSmo)]);
+}
+
+TEST_F(PhaseTest, DisabledTimerCostsNothingAndRecordsNothing) {
+  set_phase_timing(false);
+  const PhaseTicks before = phase_ticks_snapshot();
+  {
+    PhaseTimer t(Phase::kHtm);
+    volatile unsigned sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1;
+  }
+  const PhaseTicks after = phase_ticks_snapshot();
+  EXPECT_EQ(after.t[static_cast<int>(Phase::kHtm)],
+            before.t[static_cast<int>(Phase::kHtm)]);
+}
+
+TEST_F(PhaseTest, EnablingRegistersPhaseHistograms) {
+  const Snapshot snap = snapshot();
+  int found = 0;
+  for (const auto& [name, h] : snap.histograms)
+    if (name.rfind("lat.phase.", 0) == 0) ++found;
+  EXPECT_EQ(found, kPhaseCount);
+}
+
+TEST_F(PhaseTest, OpTraceAttributesPhasesAndCountsOps) {
+  clear_traces();
+  set_trace_capacity(8);
+  const MetricId ops = register_metric("op.completed", Kind::kCounter);
+  const std::uint64_t ops0 = counter_value(ops);
+  {
+    OpTrace tr(OpKind::kUpdate, 77);
+    {
+      PhaseTimer t(Phase::kPersist);
+      volatile unsigned sink = 0;
+      for (int i = 0; i < 200000; ++i) sink = sink + 1;
+    }
+    tr.finish(true);
+  }
+  EXPECT_EQ(counter_value(ops), ops0 + 1);
+  std::vector<TraceEvent> evs = collect_traces();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_GT(evs[0].phase_persist_ns, 0u);
+  EXPECT_EQ(evs[0].phase_smo_ns, 0u);
+  clear_traces();
+  set_trace_capacity(0);
+}
+
+#endif  // !RNTREE_NO_PHASE_TIMING
+
+// --- time-series sampler --------------------------------------------------
+
+TEST(Sampler, StartStopLifecycle) {
+  Sampler s;
+  EXPECT_FALSE(s.running());
+  s.start({.interval_ms = 1, .capacity = 600});
+  EXPECT_TRUE(s.running());
+  Counter c("op.completed");
+  for (int i = 0; i < 1000; ++i) c.inc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  s.stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(s.sample_count(), 2u);  // t=0 baseline + final sample at least
+  const std::vector<RateWindow> ws = s.windows();
+  ASSERT_FALSE(ws.empty());
+  std::uint64_t ops = 0;
+  for (const RateWindow& w : ws) {
+    EXPECT_GT(w.dt_s, 0.0);
+    ops += w.ops;
+  }
+  EXPECT_GE(ops, 1000u);  // our increments all fall inside the run
+  s.stop();  // idempotent
+}
+
+TEST(Sampler, RestartResetsTheRing) {
+  Sampler s;
+  s.start({.interval_ms = 1, .capacity = 600});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  s.stop();
+  const std::uint64_t first_total = s.total_samples();
+  EXPECT_GE(first_total, 2u);
+  s.start({.interval_ms = 1, .capacity = 600});
+  EXPECT_TRUE(s.running());
+  s.stop();
+  EXPECT_LT(s.total_samples(), first_total + 2);  // counted from zero again
+}
+
+TEST(Sampler, RingEvictsOldestBeyondCapacity) {
+  Sampler s;
+  s.start({.interval_ms = 1, .capacity = 4});
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  s.stop();
+  EXPECT_LE(s.sample_count(), 4u);
+  EXPECT_GT(s.total_samples(), s.sample_count());  // some were evicted
+  const std::vector<RateWindow> ws = s.windows();
+  EXPECT_LE(ws.size() + 1, 4u);
+}
+
+TEST(Sampler, SurvivesWorkerThreadExitMidRun) {
+  // Exiting threads fold their counter cells into retired totals under the
+  // registry mutex; sampling concurrently must never lose or double-count.
+  Sampler s;
+  Counter c("op.completed");
+  s.start({.interval_ms = 1, .capacity = 600});
+  for (int round = 0; round < 8; ++round) {
+    std::thread([&] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    }).join();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.stop();
+  std::uint64_t ops = 0;
+  for (const RateWindow& w : s.windows()) ops += w.ops;
+  EXPECT_GE(ops, 80000u);
+}
+
+TEST(Sampler, TimeseriesJsonIsWellFormed) {
+  Sampler& s = sampler();
+  s.start({.interval_ms = 1, .capacity = 600});
+  Counter c("op.completed");
+  for (int i = 0; i < 100; ++i) c.inc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  s.stop();
+  const std::string ts = timeseries_json();
+  ASSERT_FALSE(ts.empty());
+  EXPECT_TRUE(MiniJson(ts).valid()) << ts;
+  EXPECT_NE(ts.find("\"interval_ms\": 1"), std::string::npos);
+  EXPECT_NE(ts.find("\"windows\": ["), std::string::npos);
+  EXPECT_NE(ts.find("\"ops_per_s\""), std::string::npos);
+  // And the assembled stats document embeds it intact.
+  const std::string doc = to_json(snapshot(), {}, false, true);
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"timeseries\": {"), std::string::npos);
+}
+
+// --- chrome trace export --------------------------------------------------
+
+TEST(ChromeTrace, VirtualTracePreservesThreadId) {
+  clear_traces();
+  set_trace_capacity(8);
+  TraceEvent ev = make_event(1);
+  ev.thread_id = 4242;
+  trace_virtual(ev);
+  trace(ev);  // plain trace() stamps the ring owner's id instead
+  std::vector<TraceEvent> evs = collect_traces();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].thread_id, 4242u);
+  EXPECT_NE(evs[1].thread_id, 4242u);
+  clear_traces();
+  set_trace_capacity(0);
+}
+
+TEST(ChromeTrace, EmitsValidJsonWithTracksAndPhaseSlices) {
+  std::vector<TraceEvent> evs;
+  for (std::uint32_t tid : {7u, 9u}) {
+    TraceEvent e{};
+    e.thread_id = tid;
+    e.ts_ns = 5000;
+    e.latency_ns = 3000;
+    e.key = 11;
+    e.leaf_off = 64;
+    e.op = static_cast<std::uint16_t>(OpKind::kUpdate);
+    e.result = static_cast<std::uint16_t>(OpResult::kOk);
+    e.htm_attempts = 2;
+    e.aborts_conflict = 1;
+    e.fallbacks = 1;
+    e.phase_htm_ns = 1000;
+    e.phase_persist_ns = 1500;
+    evs.push_back(e);
+  }
+  const std::string doc = to_chrome_trace(evs);
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  // One named track per thread.
+  EXPECT_NE(doc.find("\"tid\":7,\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tid\":9,\"name\":\"thread_name\""), std::string::npos);
+  // The op slice: complete event starting at ts-latency, µs units.
+  EXPECT_NE(doc.find("\"cat\":\"op\",\"name\":\"update\",\"ts\":2.000,"
+                     "\"dur\":3.000"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"aborts_conflict\":1"), std::string::npos);
+  // Phase sub-slices laid out sequentially from the op's start.
+  EXPECT_NE(doc.find("\"cat\":\"phase\",\"name\":\"htm\",\"ts\":2.000,"
+                     "\"dur\":1.000"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"cat\":\"phase\",\"name\":\"persist\",\"ts\":3.000,"
+                     "\"dur\":1.500"),
+            std::string::npos)
+      << doc;
+}
+
+TEST(ChromeTrace, PhaseSlicesClampToOpDuration) {
+  TraceEvent e{};
+  e.thread_id = 3;
+  e.ts_ns = 2000;
+  e.latency_ns = 1000;
+  e.op = static_cast<std::uint16_t>(OpKind::kInsert);
+  e.phase_htm_ns = 800;
+  e.phase_persist_ns = 800;  // would overflow: clamped to the remaining 200
+  e.phase_smo_ns = 500;      // fully past the end: dropped
+  const std::string doc = to_chrome_trace({e});
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"name\":\"persist\",\"ts\":1.800,\"dur\":0.200"),
+            std::string::npos)
+      << doc;
+  EXPECT_EQ(doc.find("\"name\":\"smo\""), std::string::npos) << doc;
+}
+
+TEST(ChromeTrace, WriteCollectsRingsAndRoundTrips) {
+  clear_traces();
+  set_trace_capacity(8);
+  {
+    OpTrace tr(OpKind::kScan, 3);
+    tr.finish(true);
+  }
+  const std::string path = ::testing::TempDir() + "/obs_chrome_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string doc;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(MiniJson(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"name\":\"scan\""), std::string::npos);
+  clear_traces();
+  set_trace_capacity(0);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 """Run one bench binary with tiny parameters and validate its JSON export.
 
 Usage:
-    bench_smoke.py [--schema=stats|gate] <binary> [bench flags...]
+    bench_smoke.py [--schema=stats|gate] [--telemetry] <binary> [bench flags...]
 
 Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
 --schema=gate) pointing at a temp file, runs the binary, and checks that it
@@ -10,11 +10,17 @@ exits 0 and that the export matches the documented schema:
 
   stats  obs registry snapshot (src/obs/export.hpp): {"meta": {...},
          "counters": {str: int}, "gauges": {str: num},
-         "histograms": {str: {count,min,max,mean,p50,p90,p99,p999}}}
+         "histograms": {str: {count,sum,min,max,mean,p50,p90,p99,p999}}}
          with meta.bench present.
   gate   bench_micro perf-gate export: meta-only document with
          schema == "rnt-gate-v1", numeric *_mops rates and integer
          *_persists_mode counts (the contract tools/perf_gate.py relies on).
+
+With --telemetry (stats schema only) the bench additionally runs with
+--sample-ms=50 and --perfetto=FILE: the stats document must then carry a
+"timeseries" section with at least one rate window, and the Perfetto file
+must be valid chrome://tracing JSON with thread_name metadata and complete
+("X") slices carrying ts/dur/tid/name.
 
 Registered in bench/CMakeLists.txt as one ctest per bench binary, so "the
 benches still run and still export what the tooling parses" is part of the
@@ -34,7 +40,19 @@ GATE_PERSISTS = [
     "update_persists_mode",
     "remove_persists_mode",
 ]
-HIST_FIELDS = ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"]
+HIST_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999"]
+WINDOW_FIELDS = [
+    "t_s",
+    "dt_s",
+    "ops",
+    "ops_per_s",
+    "abort_conflict_per_s",
+    "abort_capacity_per_s",
+    "abort_other_per_s",
+    "fallback_per_s",
+    "persists_per_op",
+    "pool_bytes_per_s",
+]
 
 
 def fail(msg):
@@ -66,6 +84,40 @@ def validate_stats(doc):
             expect(is_num(h.get(f)), f"histogram {k!r} missing numeric {f!r}")
 
 
+def validate_timeseries(doc):
+    ts = doc.get("timeseries")
+    expect(isinstance(ts, dict), "missing object 'timeseries'")
+    expect(isinstance(ts.get("interval_ms"), int) and ts["interval_ms"] > 0,
+           "timeseries.interval_ms not a positive int")
+    windows = ts.get("windows")
+    expect(isinstance(windows, list) and windows,
+           "timeseries.windows missing or empty")
+    for i, w in enumerate(windows):
+        for f in WINDOW_FIELDS:
+            expect(is_num(w.get(f)), f"window[{i}] missing numeric {f!r}")
+        expect(w["dt_s"] > 0, f"window[{i}].dt_s not positive")
+
+
+def validate_perfetto(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"Perfetto export unreadable: {e}")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list) and events, "traceEvents missing or empty")
+    metas = [e for e in events if e.get("ph") == "M"]
+    slices = [e for e in events if e.get("ph") == "X"]
+    expect(any(e.get("name") == "thread_name" for e in metas),
+           "no thread_name metadata event")
+    expect(slices, "no complete ('X') slice events")
+    for e in slices[:100]:
+        for f in ("ts", "dur"):
+            expect(is_num(e.get(f)), f"slice missing numeric {f!r}: {e}")
+        expect(isinstance(e.get("tid"), int), f"slice missing int tid: {e}")
+        expect(isinstance(e.get("name"), str), f"slice missing name: {e}")
+
+
 def validate_gate(doc):
     expect(isinstance(doc, dict), "document is not a JSON object")
     meta = doc.get("meta")
@@ -81,9 +133,17 @@ def validate_gate(doc):
 def main():
     args = sys.argv[1:]
     schema = "stats"
-    if args and args[0].startswith("--schema="):
-        schema = args.pop(0).split("=", 1)[1]
-    if schema not in ("stats", "gate") or not args:
+    telemetry = False
+    while args and args[0].startswith("--"):
+        if args[0].startswith("--schema="):
+            schema = args.pop(0).split("=", 1)[1]
+        elif args[0] == "--telemetry":
+            telemetry = True
+            args.pop(0)
+        else:
+            break
+    if schema not in ("stats", "gate") or not args or (
+            telemetry and schema != "stats"):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -91,8 +151,15 @@ def main():
     json_flag = "--gate-json=" if schema == "gate" else "--stats-json="
     fd, path = tempfile.mkstemp(prefix="bench_smoke_", suffix=".json")
     os.close(fd)
+    perfetto_path = None
+    if telemetry:
+        fd, perfetto_path = tempfile.mkstemp(prefix="bench_smoke_perfetto_",
+                                             suffix=".json")
+        os.close(fd)
     try:
         cmd = [binary] + bench_args + [json_flag + path]
+        if telemetry:
+            cmd += ["--sample-ms=50", "--perfetto=" + perfetto_path]
         proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT, timeout=600)
         if proc.returncode != 0:
@@ -104,13 +171,21 @@ def main():
         except (OSError, json.JSONDecodeError) as e:
             fail(f"JSON export unreadable: {e}")
         (validate_gate if schema == "gate" else validate_stats)(doc)
-        print(f"bench_smoke: OK ({os.path.basename(binary)}, schema={schema})")
+        if telemetry:
+            validate_timeseries(doc)
+            validate_perfetto(perfetto_path)
+        mode = ", telemetry" if telemetry else ""
+        print(f"bench_smoke: OK ({os.path.basename(binary)}, "
+              f"schema={schema}{mode})")
         return 0
     finally:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        for p in (path, perfetto_path):
+            if p is None:
+                continue
+            try:
+                os.unlink(p)
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":

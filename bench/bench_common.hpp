@@ -23,6 +23,12 @@
 //   --perfetto=FILE    write the flight-recorder ring as a chrome://tracing
 //                      / ui.perfetto.dev JSON timeline to FILE at exit;
 //                      implies a default --trace=4096 if --trace is absent
+//   --heatmap-buckets=N  arm the contention heatmap with N key-range buckets
+//                      (power of two in [2, 4096]); aborts/fallbacks are
+//                      attributed by key range and exported under "heatmap"
+//                      in the JSON dump (src/obs/heatmap.hpp)
+//   --heatmap-mode=M   heatmap bucketing: "key" (default, key-range buckets)
+//                      or "leaf" (hash of the op's resolved leaf address)
 //
 // Either telemetry flag also arms per-op phase attribution
 // (obs::set_phase_timing), populating the lat.phase.* histograms.
@@ -47,6 +53,7 @@
 #include "obs/buildinfo.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/phase.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -72,6 +79,8 @@ struct BenchOptions {
   bool trace_in_json = false;    ///< explicit --trace: include "trace" in JSON
   std::uint32_t sample_ms = 0;   ///< --sample-ms=N sampler interval (0 = off)
   std::string perfetto;          ///< --perfetto=FILE ("" = no timeline export)
+  std::uint32_t heatmap_buckets = 0;  ///< --heatmap-buckets=N (0 = heatmap off)
+  bool heatmap_by_leaf = false;  ///< --heatmap-mode=leaf
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
@@ -85,8 +94,23 @@ struct BenchOptions {
                  "  --stats-json=FILE  write metrics snapshot as JSON (\"-\" = stdout)\n"
                  "  --trace=N          per-thread flight-recorder ring of N events\n"
                  "  --sample-ms=N      time-series sampler interval (JSON \"timeseries\")\n"
-                 "  --perfetto=FILE    write chrome://tracing timeline JSON to FILE\n",
-                 argv0);
+                 "  --perfetto=FILE    write chrome://tracing timeline JSON to FILE\n"
+                 "  --heatmap-buckets=N  contention heatmap with N key-range buckets\n"
+                 "                     (power of two, %u-%u); JSON \"heatmap\" section\n"
+                 "  --heatmap-mode=M   heatmap bucketing: key (default) or leaf\n",
+                 argv0, obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets);
+  }
+
+  /// Strict positive-integer flag value: the whole string must be digits and
+  /// the result nonzero, so "--sample-ms=0", "--sample-ms=-5" and
+  /// "--sample-ms=5x" are all rejected instead of silently truncated.
+  static bool parse_positive_u32(const char* s, std::uint32_t* out) {
+    if (*s == '\0') return false;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (*end != '\0' || *s == '-' || v == 0 || v > 0xffffffffUL) return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
   }
 
   static BenchOptions parse(int argc, char** argv) {
@@ -117,9 +141,38 @@ struct BenchOptions {
         o.trace_events = std::strtoull(v, nullptr, 10);
         o.trace_in_json = o.trace_events != 0;
       } else if (const char* v = val("--sample-ms=")) {
-        o.sample_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        if (!parse_positive_u32(v, &o.sample_ms)) {
+          std::fprintf(stderr,
+                       "%s: --sample-ms wants a positive integer, got '%s'\n",
+                       argv[0], v);
+          usage(argv[0]);
+          std::exit(2);
+        }
       } else if (const char* v = val("--perfetto=")) {
         o.perfetto = v;
+      } else if (const char* v = val("--heatmap-buckets=")) {
+        if (!parse_positive_u32(v, &o.heatmap_buckets) ||
+            !obs::heatmap_valid_buckets(o.heatmap_buckets)) {
+          std::fprintf(stderr,
+                       "%s: --heatmap-buckets wants a power of two in [%u, %u],"
+                       " got '%s'\n",
+                       argv[0], obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets,
+                       v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = val("--heatmap-mode=")) {
+        if (std::strcmp(v, "leaf") == 0) {
+          o.heatmap_by_leaf = true;
+        } else if (std::strcmp(v, "key") == 0) {
+          o.heatmap_by_leaf = false;
+        } else {
+          std::fprintf(stderr,
+                       "%s: --heatmap-mode wants 'key' or 'leaf', got '%s'\n",
+                       argv[0], v);
+          usage(argv[0]);
+          std::exit(2);
+        }
       } else if (a == "--help" || a == "-h") {
         usage(argv[0]);
         std::exit(0);
@@ -135,6 +188,15 @@ struct BenchOptions {
     if (o.sample_ms != 0 || !o.perfetto.empty()) obs::set_phase_timing(true);
     if (o.sample_ms != 0)
       obs::sampler().start({.interval_ms = o.sample_ms, .capacity = 600});
+    if (o.heatmap_buckets != 0) {
+      // Benches that know their key space (fig 8-10) reconfigure with it
+      // before the run; this default covers the full 64-bit key domain.
+      obs::heatmap_configure({.buckets = o.heatmap_buckets,
+                              .by_leaf = o.heatmap_by_leaf,
+                              .key_space = 0,
+                              .decay_half_life_s = 0.0});
+      obs::set_heatmap_enabled(true);
+    }
     return o;
   }
 
@@ -157,7 +219,8 @@ struct BenchOptions {
 /// the "timeseries" section when --sample-ms was given) tagged with build
 /// provenance and the bench's parameters.  Every bench main calls this once
 /// on its way out.
-inline void export_stats(const BenchOptions& o, const std::string& bench_name) {
+inline void export_stats(const BenchOptions& o, const std::string& bench_name,
+                         const std::vector<obs::MetaField>& extra_meta = {}) {
   if (o.sample_ms != 0) obs::sampler().stop();
   if (!o.perfetto.empty()) obs::write_chrome_trace(o.perfetto);
   if (o.stats_json.empty()) return;
@@ -172,6 +235,11 @@ inline void export_stats(const BenchOptions& o, const std::string& bench_name) {
       {"paper", o.paper ? "true" : "false", true},
   };
   meta.insert(meta.end(), bench_meta.begin(), bench_meta.end());
+  if (o.heatmap_buckets != 0) {
+    meta.push_back({"heatmap_buckets", std::to_string(o.heatmap_buckets), true});
+    meta.push_back({"heatmap_mode", o.heatmap_by_leaf ? "leaf" : "key", false});
+  }
+  meta.insert(meta.end(), extra_meta.begin(), extra_meta.end());
   obs::write_json_snapshot(o.stats_json, meta, o.trace_in_json,
                            o.sample_ms != 0);
 }

@@ -10,6 +10,21 @@ int main(int argc, char** argv) {
   using namespace rnt::sim;
   BenchOptions opt = BenchOptions::parse(argc, argv);
 
+  const std::uint64_t keys = opt.paper ? 16'000'000 : opt.hot_keys;
+
+  // --heatmap-buckets: narrow the bucketing to this bench's key space and
+  // script a conflict storm on the Zipfian's rank-0 (hottest) key, so the
+  // heatmap's top bucket is known a priori — the smoke test asserts that
+  // "heatmap_expected_bucket" ranks first by conflict-abort count.
+  std::uint64_t inject_key = 0;
+  if (opt.heatmap_buckets != 0) {
+    rnt::obs::heatmap_configure({.buckets = opt.heatmap_buckets,
+                                 .by_leaf = opt.heatmap_by_leaf,
+                                 .key_space = keys,
+                                 .decay_half_life_s = 0.0});
+    inject_key = rnt::mix64(0) % keys;  // ScrambledZipfian's hottest item
+  }
+
   const double thetas[] = {0.5, 0.6, 0.7, 0.8, 0.9, 0.99};
   print_header("Figure 10: YCSB-A @8 threads (Mops/s) vs Zipfian coefficient",
                {"0.5", "0.6", "0.7", "0.8", "0.9", "0.99"});
@@ -26,8 +41,10 @@ int main(int argc, char** argv) {
       cfg.threads = 8;
       cfg.zipf_theta = theta;
       cfg.update_pct = 50;
-      cfg.keys = opt.paper ? 16'000'000 : opt.hot_keys;
+      cfg.keys = keys;
       cfg.horizon_ns = opt.paper ? 200'000'000 : 50'000'000;
+      if (opt.heatmap_buckets != 0)
+        cfg.inject = {.enabled = true, .key = inject_key, .aborts = 3};
       row.push_back(run_simulation(cfg).mops);
     }
     print_row(names[m], row);
@@ -37,6 +54,13 @@ int main(int argc, char** argv) {
   print_note("RNTree/FPTree at theta=0.99: %.2fx (paper: up to 2.3x)",
              rows[0][last] / rows[2][last]);
   print_note("paper shape: FPTree drops sharply past 0.7; RNTree insensitive");
-  export_stats(opt, "fig10_skew");
+  std::vector<rnt::obs::MetaField> extra;
+  if (opt.heatmap_buckets != 0) {
+    extra.push_back({"heatmap_inject_key", std::to_string(inject_key), true});
+    extra.push_back(
+        {"heatmap_expected_bucket",
+         std::to_string(rnt::obs::heatmap_bucket_of(inject_key)), true});
+  }
+  export_stats(opt, "fig10_skew", extra);
   return 0;
 }

@@ -9,6 +9,7 @@
 //             wB+tree-SO worst (constant splitting)
 //   * remove: FPTree best (1 persist on an 8-byte bitmap)
 //   * mixed:  RNTree 25%-44% faster than the others
+#include "obs/struct_audit.hpp"
 #include "tree_zoo.hpp"
 #include "workload/ycsb.hpp"
 
@@ -71,6 +72,15 @@ struct Fig4Runner {
                     }
                   }) /
                   1e6);
+    // Structural audit of the worked-over tree (trees exposing the
+    // introspection walkers only, i.e. RNTree); the latest audited tree's
+    // report lands under "structure" in --stats-json.
+    if constexpr (requires { tree->visit_leaves([](int, std::uint32_t) {}); }) {
+      obs::StructureReport rep = obs::audit_tree(*tree, pool);
+      rep.tree = Factory::kName;
+      obs::set_structure_section(obs::structure_json(rep));
+    }
+
     names.push_back(Factory::kName);
     rows.push_back(std::move(row));
   }

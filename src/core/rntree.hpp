@@ -45,6 +45,7 @@
 #include "htm/rtm.hpp"
 #include "inner/inner_tree.hpp"
 #include "nvm/pool.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/op_trace.hpp"
 #include "obs/phase.hpp"
@@ -189,6 +190,7 @@ class RNTree {
   /// instruction (the slot-array flush) — no log entry is consumed.
   bool remove(Key k) {
     obs::OpTrace tr(obs::OpKind::kRemove, k);
+    obs::HeatScope hs(k);
     for (;;) {
       epoch::Guard g = epochs_.pin();
       Leaf* leaf = inner_.find_leaf(k);
@@ -204,6 +206,7 @@ class RNTree {
         continue;
       }
       tr.leaf(pool_.off(leaf));
+      hs.leaf(pool_.off(leaf));
       // Under the lock pslot and fps are quiescent and position-parallel:
       // probe them in place, no binary search.
       const int pos = slot_fp_find(leaf->pslot, leaf->fps, leaf->logs, k);
@@ -229,6 +232,7 @@ class RNTree {
   /// the indirection, so they only cost an extra load).
   RNT_NO_SANITIZE_THREAD std::optional<Value> find(Key k) const {
     obs::OpTrace tr(obs::OpKind::kFind, k);
+    obs::HeatScope hs(k);
     epoch::Guard g = epochs_.pin();
     for (;;) {
       Leaf* leaf = inner_.find_leaf(k);
@@ -264,6 +268,7 @@ class RNTree {
           continue;  // split raced; snapshot may index rewritten logs
         }
         tr.leaf(pool_.off(leaf));
+        hs.leaf(pool_.off(leaf));
         tr.finish(res.has_value());
         return res;
       }
@@ -277,6 +282,7 @@ class RNTree {
   template <typename Fn>
   RNT_NO_SANITIZE_THREAD std::size_t scan(Key start, Fn&& fn) const {
     obs::OpTrace tr(obs::OpKind::kScan, start);
+    obs::HeatScope hs(start);
     tr.finish(true);
     epoch::Guard g = epochs_.pin();
     std::size_t visited = 0;
@@ -336,6 +342,41 @@ class RNTree {
     std::size_t n = 0;
     for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l)) ++n;
     return n;
+  }
+
+  // ------------------------------------------------------------------
+  // Structural introspection (obs/struct_audit.hpp)
+  // ------------------------------------------------------------------
+
+  /// Capacities the structural auditor normalises fill factors against.
+  static constexpr int slot_capacity() noexcept {
+    return static_cast<int>(kSlotCap);
+  }
+  static constexpr int log_capacity() noexcept {
+    return static_cast<int>(Leaf::kLogCap);
+  }
+  static constexpr int inner_fanout() noexcept {
+    return inner::InnerTree<Key, Leaf>::kFanout;
+  }
+
+  /// Epoch-safe read-only walk of the volatile inner tree: fn(level,
+  /// separator_count) per node.  Safe concurrently with writers — the
+  /// inner tree is COW and the guard keeps the snapshot's nodes alive.
+  template <typename Fn>
+  void visit_inner(Fn&& fn) const {
+    epoch::Guard g = epochs_.pin();
+    inner_.for_each_node(fn);
+  }
+
+  /// Epoch-safe walk of the persistent leaf chain: fn(live_entries,
+  /// allocated_log_entries) per leaf.  Reads are relaxed snapshots —
+  /// counts are approximate under concurrent writers, exact quiescent.
+  template <typename Fn>
+  void visit_leaves(Fn&& fn) const {
+    epoch::Guard g = epochs_.pin();
+    for (Leaf* l = leftmost(); l != nullptr; l = next_leaf(l))
+      fn(static_cast<int>(l->pslot[0]),
+         l->nlogs.load(std::memory_order_relaxed));
   }
 
   /// Validate structural invariants (tests): per-leaf sortedness/uniqueness,
@@ -487,6 +528,7 @@ class RNTree {
                     : mode == Mode::kUpdate ? obs::OpKind::kUpdate
                                             : obs::OpKind::kUpsert,
                     k);
+    obs::HeatScope hs(k);
     for (;;) {
       epoch::Guard g = epochs_.pin();
       Leaf* leaf = inner_.find_leaf(k);
@@ -541,6 +583,7 @@ class RNTree {
 
       // Step 4 (concurrency): take the leaf lock, make the entry reachable.
       tr.leaf(pool_.off(leaf));
+      hs.leaf(pool_.off(leaf));
       {
         obs::PhaseTimer pt(obs::Phase::kLockWait);
         leaf->vlock.lock();

@@ -32,6 +32,7 @@
 #include "htm/abort_inject.hpp"
 #include "htm/spinlock.hpp"
 #include "nvm/persist.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/phase.hpp"
 
 namespace rnt::htm {
@@ -113,6 +114,7 @@ inline bool bounded_lock_wait(SpinLock& fallback, const RetryPolicy& policy,
   for (std::uint32_t waited = 0; fallback.is_locked(); ++waited) {
     if (waited >= policy.lock_wait_pauses) {
       ++st.lock_wait_timeouts;
+      obs::heatmap_record(obs::HeatCause::kLockWaitTimeout);
       return false;
     }
     bo.pause();
@@ -151,20 +153,24 @@ bool run_injected(AbortInjector& inj, SpinLock* fallback, Fn& fn,
       case AbortCause::kCapacity:
         ++st.aborts_capacity;
         ++st.injected_capacity;
+        obs::heatmap_record(obs::HeatCause::kCapacity);
         return false;  // the write set will never fit; fall back now
       case AbortCause::kConflict:
         ++st.aborts_conflict;
         ++st.injected_conflict;
+        obs::heatmap_record(obs::HeatCause::kConflict);
         conflict_bo.pause();  // bounded exponential backoff
         break;
       case AbortCause::kSpurious:
         ++st.aborts_other;
         ++st.injected_spurious;
+        obs::heatmap_record(obs::HeatCause::kOther);
         if (++spurious > policy.max_spurious_retries) return false;
         break;
       case AbortCause::kLockSubscription:
         ++st.aborts_other;
         ++st.injected_lock_subscription;
+        obs::heatmap_record(obs::HeatCause::kOther);
         if (fallback != nullptr) bounded_lock_wait(*fallback, policy, st);
         break;
     }
@@ -206,6 +212,7 @@ bool run_rtm(SpinLock& fallback, Fn& fn, const RetryPolicy& policy,
     }
     if ((status & kAbortCapacity) != 0) {
       ++st.aborts_capacity;
+      obs::heatmap_record(obs::HeatCause::kCapacity);
       return false;  // will not fit; go straight to the lock
     }
     if ((status & kAbortExplicit) != 0 &&
@@ -213,14 +220,17 @@ bool run_rtm(SpinLock& fallback, Fn& fn, const RetryPolicy& policy,
       // Our own subscription abort: wait (bounded) for the lock holder,
       // then retry; does not consume the spurious budget.
       ++st.aborts_other;
+      obs::heatmap_record(obs::HeatCause::kOther);
       bounded_lock_wait(fallback, policy, st);
       continue;
     }
     if ((status & kAbortConflict) != 0) {
       ++st.aborts_conflict;
+      obs::heatmap_record(obs::HeatCause::kConflict);
       conflict_bo.pause();  // bounded exponential backoff
     } else {
       ++st.aborts_other;
+      obs::heatmap_record(obs::HeatCause::kOther);
       if ((status & kAbortRetry) == 0 && ++spurious > policy.max_spurious_retries)
         return false;
     }
@@ -242,12 +252,14 @@ void atomic_exec(SpinLock& fallback, Fn&& fn,
     obs::PhaseTimer pt(obs::Phase::kHtm);
     if (detail::run_injected(*inj, &fallback, fn, policy, st)) return;
     ++st.fallbacks;
+    obs::heatmap_record(obs::HeatCause::kFallback);
   }
 #if defined(RNTREE_HAVE_RTM)
   else if (rtm_supported() && nvm::shadow_active() == nullptr) {
     obs::PhaseTimer pt(obs::Phase::kHtm);
     if (detail::run_rtm(fallback, fn, policy, st)) return;
     ++st.fallbacks;
+    obs::heatmap_record(obs::HeatCause::kFallback);
   }
 #endif
   {
@@ -279,6 +291,7 @@ void atomic_exec_excl(Fn&& fn,
       if (detail::run_injected(*inj, nullptr, fn, policy, st)) return;
     }
     ++st.fallbacks;
+    obs::heatmap_record(obs::HeatCause::kFallback);
     detail::TxGuard tx;
     std::forward<Fn>(fn)();
     ++st.commits;
@@ -302,13 +315,16 @@ void atomic_exec_excl(Fn&& fn,
         }
         if ((status & detail::kAbortCapacity) != 0) {
           ++st.aborts_capacity;
+          obs::heatmap_record(obs::HeatCause::kCapacity);
           break;
         }
         if ((status & detail::kAbortConflict) != 0) {
           ++st.aborts_conflict;
+          obs::heatmap_record(obs::HeatCause::kConflict);
           conflict_bo.pause();
         } else {
           ++st.aborts_other;
+          obs::heatmap_record(obs::HeatCause::kOther);
           if ((status & detail::kAbortRetry) == 0 &&
               ++spurious > policy.max_spurious_retries)
             break;
@@ -316,6 +332,7 @@ void atomic_exec_excl(Fn&& fn,
       }
     }
     ++st.fallbacks;
+    obs::heatmap_record(obs::HeatCause::kFallback);
     fn();  // caller's exclusive lock makes plain execution safe
     ++st.commits;
     return;

@@ -176,6 +176,15 @@ class InnerTree {
     return n == nullptr ? 0 : n->level + 1;
   }
 
+  /// Read-only walk over every inner node in the current snapshot, calling
+  /// fn(level, separator_count) once per node.  The caller must hold an
+  /// epoch::Guard: published nodes are immutable (COW path updates), so the
+  /// snapshot reached from root_ stays consistent for the walk's duration.
+  template <typename Fn>
+  void for_each_node(Fn&& fn) const {
+    visit_rec(root_.load(std::memory_order_acquire), fn);
+  }
+
  private:
   struct Node {
     std::int16_t count;  ///< number of separator keys (children = count + 1)
@@ -247,6 +256,15 @@ class InnerTree {
       right->children[j] = copy->children[half + 1 + j];
     copy->count = static_cast<std::int16_t>(half);
     return {copy, right, pushed};
+  }
+
+  template <typename Fn>
+  static void visit_rec(const Node* n, Fn& fn) {
+    if (n == nullptr) return;
+    fn(static_cast<int>(n->level), static_cast<int>(n->count));
+    if (n->level > 0)
+      for (int i = 0; i <= n->count; ++i)
+        visit_rec(static_cast<const Node*>(n->children[i]), fn);
   }
 
   void retire_node(Node* n) {

@@ -4,6 +4,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -287,6 +288,72 @@ void PmemPool::mark_dirty() {
     store(h->clean, std::uint64_t{0});
     persist(&h->clean, sizeof(h->clean));
   }
+}
+
+PoolFragmentation PmemPool::fragmentation() {
+  PoolFragmentation out;
+  out.data_begin = data_start();
+  out.pool_size = size_;
+  std::lock_guard lk(alloc_mu_);
+  out.bump = bump_.load(std::memory_order_relaxed);
+  out.allocated_bytes = out.bump - out.data_begin;
+  out.tail_bytes = size_ - out.bump;
+
+  // Collect every tracked free span, then sort and coalesce: adjacent
+  // size-class blocks freed separately form one run for the largest-run
+  // metric (what matters for "can a leaf-sized block still be carved").
+  struct Run {
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+  std::vector<Run> runs;
+  for (const auto& [sz, offs] : free_lists_)
+    for (const std::uint64_t off : offs) runs.push_back({off, sz});
+  for (const Span& s : reclaim_spans_) runs.push_back({s.off, s.len});
+  for (const ThreadCache& tc : caches_)
+    if (tc.rem > 0) runs.push_back({tc.off, tc.rem});
+  out.free_blocks = runs.size();
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.off < b.off; });
+  std::vector<Run> merged;
+  for (const Run& r : runs) {
+    out.free_bytes += r.len;
+    if (!merged.empty() && merged.back().off + merged.back().len == r.off)
+      merged.back().len += r.len;
+    else
+      merged.push_back(r);
+  }
+  for (const Run& r : merged)
+    out.largest_free_run = std::max(out.largest_free_run, r.len);
+
+  // Per-chunk map over the carved region [data_begin, bump); free runs are
+  // clipped at chunk boundaries so per-chunk byte totals add up.
+  const std::uint64_t nchunks = (out.bump - out.data_begin + kChunk - 1) / kChunk;
+  out.chunks.resize(nchunks);
+  for (std::uint64_t i = 0; i < nchunks; ++i) {
+    out.chunks[i].off = out.data_begin + i * kChunk;
+    const std::uint64_t end =
+        std::min(out.chunks[i].off + kChunk, out.bump);
+    out.chunks[i].live_bytes = end - out.chunks[i].off;
+  }
+  for (const Run& r : merged) {
+    std::uint64_t off = r.off;
+    std::uint64_t rem = r.len;
+    while (rem > 0 && off >= out.data_begin && off < out.bump) {
+      const std::uint64_t ci = (off - out.data_begin) / kChunk;
+      if (ci >= nchunks) break;
+      PoolFragmentation::Chunk& c = out.chunks[ci];
+      const std::uint64_t chunk_end =
+          std::min(c.off + kChunk, out.bump);
+      const std::uint64_t take = std::min(rem, chunk_end - off);
+      c.free_bytes += take;
+      c.live_bytes -= take;
+      c.largest_free_run = std::max(c.largest_free_run, take);
+      off += take;
+      rem -= take;
+    }
+  }
+  return out;
 }
 
 void PmemPool::close_clean() {

@@ -63,6 +63,29 @@ struct alignas(kCacheLineSize) UndoSlot {
 };
 static_assert(sizeof(UndoSlot) == 4096);
 
+/// Point-in-time fragmentation map of a pool's data area (see
+/// PmemPool::fragmentation()).  "Free" means tracked by the volatile
+/// allocator state — size-class free lists, folded reclaim spans, and
+/// unconsumed thread-cache remainders; everything else inside the
+/// allocation frontier counts as live.
+struct PoolFragmentation {
+  struct Chunk {
+    std::uint64_t off = 0;              ///< chunk base offset
+    std::uint64_t live_bytes = 0;       ///< allocated and not freed
+    std::uint64_t free_bytes = 0;       ///< tracked-free inside this chunk
+    std::uint64_t largest_free_run = 0; ///< longest coalesced run (clipped)
+  };
+  std::uint64_t data_begin = 0;       ///< first allocatable offset
+  std::uint64_t bump = 0;             ///< allocation frontier
+  std::uint64_t pool_size = 0;
+  std::uint64_t allocated_bytes = 0;  ///< bump - data_begin (ever handed out)
+  std::uint64_t free_bytes = 0;       ///< tracked-free inside the frontier
+  std::uint64_t tail_bytes = 0;       ///< pool_size - bump (never carved)
+  std::uint64_t largest_free_run = 0; ///< longest coalesced free run
+  std::uint64_t free_blocks = 0;      ///< tracked free spans (pre-coalesce)
+  std::vector<Chunk> chunks;          ///< per-kChunk map over the frontier
+};
+
 class PmemPool {
  public:
   static constexpr std::uint64_t kMagic = 0x524E545245453139ull;  // "RNTREE19"
@@ -201,6 +224,12 @@ class PmemPool {
 
   /// Bytes handed out so far (diagnostics).
   std::uint64_t bytes_used() const noexcept { return bump_.load(std::memory_order_relaxed); }
+
+  /// Point-in-time fragmentation map (diagnostics; takes the allocation
+  /// mutex).  Counts are exact for the tracked volatile free state at the
+  /// instant of the call; concurrent allocs may race the frontier read by a
+  /// few blocks.
+  PoolFragmentation fragmentation();
 
  private:
   struct Header {

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/heatmap.hpp"
+
 namespace rnt::obs {
 
 namespace {
@@ -99,6 +101,25 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
       append_slice(out, first, e.thread_id, "phase", pname, start + cursor, len);
       out += '}';
       cursor += len;
+    }
+  }
+
+  // Top-K hot buckets as counter tracks: the contention score of each
+  // sampled hot bucket over time ("C" events render as area charts in
+  // Perfetto/chrome://tracing).  Samples exist only when the sampler ran
+  // (--sample-ms) with the heatmap enabled.
+  for (const HeatTrack& tr : heatmap_tracks(8)) {
+    for (const HeatTrackPoint& p : tr.points) {
+      out += first ? "\n  " : ",\n  ";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":1,\"name\":\"heat.bucket.%u\",\"ts\":",
+                    tr.bucket);
+      out += buf;
+      append_us(out, p.ts_ns);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"score\":%" PRIu64 "}}",
+                    p.score);
+      out += buf;
     }
   }
 

@@ -3,7 +3,9 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "obs/heatmap.hpp"
 #include "obs/sampler.hpp"
+#include "obs/struct_audit.hpp"
 #include "obs/trace.hpp"
 
 namespace rnt::obs {
@@ -98,6 +100,18 @@ std::string to_json(const Snapshot& snap, const std::vector<MetaField>& meta,
     out += buf;
   }
   out += "\n  }";
+  {
+    const std::string hm = heatmap_json();
+    if (!hm.empty()) {
+      out += ",\n  \"heatmap\": ";
+      out += hm;
+    }
+    const std::string st = structure_section();
+    if (!st.empty()) {
+      out += ",\n  \"structure\": ";
+      out += st;
+    }
+  }
   if (include_timeseries) {
     const std::string ts = timeseries_json();
     if (!ts.empty()) {

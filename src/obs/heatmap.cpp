@@ -1,0 +1,415 @@
+#include "obs/heatmap.hpp"
+
+#if !defined(RNTREE_NO_HEATMAP)
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hpp"  // detail::cell_load/cell_store/cell_add
+
+namespace rnt::obs {
+
+namespace {
+
+// splitmix64 finalizer — same mixer the workload generators use; here it
+// spreads leaf pool offsets (which share low-bit alignment) across buckets.
+std::uint64_t heat_mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Bucketing parameters, readable lock-free on the record path.  Mutated only
+// by heatmap_configure(), whose contract requires recorder quiescence.
+std::atomic<std::uint32_t> g_buckets{64};
+std::atomic<std::uint32_t> g_shift{58};  // 64 - log2(64)
+std::atomic<bool> g_by_leaf{false};
+std::atomic<std::uint64_t> g_key_space{0};
+std::atomic<double> g_half_life_s{0.0};
+
+std::uint32_t shift_for(std::uint64_t key_space, std::uint32_t buckets) {
+  const int space_bits =
+      key_space == 0 ? 64 : std::bit_width(key_space - 1);
+  const int bucket_bits = std::countr_zero(buckets);
+  return static_cast<std::uint32_t>(std::max(0, space_bits - bucket_bits));
+}
+
+// One bucket's counter-track sample (sampler tick).
+struct TrackSample {
+  std::uint64_t ts_ns = 0;
+  std::vector<std::uint64_t> scores;  // by bucket id
+};
+
+// Retained track samples are bounded so a long --sample-ms run can't grow
+// without limit, and skipped entirely for very large tables.
+constexpr std::size_t kMaxTrackSamples = 600;
+constexpr std::uint32_t kMaxTrackBuckets = 512;
+
+struct HeatSlab {
+  std::vector<std::uint64_t> cells;  // bucket-major: [bucket][cause]
+  ~HeatSlab();
+};
+
+struct HeatRegistry {
+  std::mutex mu;
+  std::vector<HeatSlab*> slabs;
+  std::vector<std::uint64_t> retired;  // folded from exited threads
+  std::deque<TrackSample> samples;
+  std::uint64_t last_tick_ns = 0;
+};
+
+// Leaked singleton, same rationale as the metrics registry: exiting threads
+// fold their slabs during static destruction.
+HeatRegistry& heat_reg() {
+  static HeatRegistry* r = new HeatRegistry;
+  return *r;
+}
+
+std::size_t cell_count() noexcept {
+  return static_cast<std::size_t>(g_buckets.load(std::memory_order_relaxed)) *
+         kHeatCauseCount;
+}
+
+HeatSlab& heat_slab() {
+  thread_local HeatSlab slab;
+  if (slab.cells.empty()) {
+    HeatRegistry& r = heat_reg();
+    std::lock_guard lk(r.mu);
+    slab.cells.assign(cell_count(), 0);
+    if (std::find(r.slabs.begin(), r.slabs.end(), &slab) == r.slabs.end())
+      r.slabs.push_back(&slab);
+  }
+  return slab;
+}
+
+HeatSlab::~HeatSlab() {
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  if (r.retired.size() < cells.size()) r.retired.resize(cells.size(), 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) r.retired[i] += cells[i];
+  std::erase(r.slabs, this);
+}
+
+// Caller holds r.mu.  Sums every live slab plus retired into a bucket-major
+// vector sized to the current table.
+std::vector<std::uint64_t> aggregate_locked(HeatRegistry& r) {
+  std::vector<std::uint64_t> sum(cell_count(), 0);
+  for (std::size_t i = 0; i < sum.size() && i < r.retired.size(); ++i)
+    sum[i] = r.retired[i];
+  for (const HeatSlab* s : r.slabs)
+    for (std::size_t i = 0; i < sum.size() && i < s->cells.size(); ++i)
+      sum[i] += detail::cell_load(s->cells[i]);
+  return sum;
+}
+
+std::uint64_t bucket_score(const std::uint64_t* c) noexcept {
+  // Contention score: every cause except kOp.
+  return c[static_cast<int>(HeatCause::kConflict)] +
+         c[static_cast<int>(HeatCause::kCapacity)] +
+         c[static_cast<int>(HeatCause::kOther)] +
+         c[static_cast<int>(HeatCause::kFallback)] +
+         c[static_cast<int>(HeatCause::kLockWaitTimeout)];
+}
+
+// Caller holds r.mu.
+void decay_locked(HeatRegistry& r, double factor) {
+  auto scale = [factor](std::uint64_t& cell) {
+    const std::uint64_t v = detail::cell_load(cell);
+    if (v)
+      detail::cell_store(
+          cell, static_cast<std::uint64_t>(static_cast<double>(v) * factor));
+  };
+  for (HeatSlab* s : r.slabs)
+    for (std::uint64_t& c : s->cells) scale(c);
+  for (std::uint64_t& c : r.retired) scale(c);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_heat_enabled{false};
+thread_local HeatTls t_heat{kHeatNoBucket};
+
+void heat_add(std::uint32_t bucket, HeatCause c) noexcept {
+  HeatSlab& s = heat_slab();
+  const std::size_t idx =
+      static_cast<std::size_t>(bucket) * kHeatCauseCount +
+      static_cast<std::size_t>(c);
+  // A slab sized under an older config can briefly see out-of-range buckets;
+  // dropping those few events beats resizing on the hot path.
+  if (idx < s.cells.size()) detail::cell_add(s.cells[idx], 1);
+}
+
+void heat_set_target(std::uint64_t key) noexcept {
+  const std::uint32_t b = heatmap_bucket_of(key);
+  t_heat.bucket = b;
+  heat_add(b, HeatCause::kOp);
+}
+
+void heat_set_leaf(std::uint64_t leaf_off) noexcept {
+  if (g_by_leaf.load(std::memory_order_relaxed))
+    t_heat.bucket = heatmap_bucket_of_leaf(leaf_off);
+}
+
+}  // namespace detail
+
+const char* to_string(HeatCause c) noexcept {
+  switch (c) {
+    case HeatCause::kConflict: return "aborts_conflict";
+    case HeatCause::kCapacity: return "aborts_capacity";
+    case HeatCause::kOther: return "aborts_other";
+    case HeatCause::kFallback: return "fallbacks";
+    case HeatCause::kLockWaitTimeout: return "lock_wait_timeouts";
+    case HeatCause::kOp: return "ops";
+  }
+  return "?";
+}
+
+bool heatmap_valid_buckets(std::uint64_t n) noexcept {
+  return n >= kHeatmapMinBuckets && n <= kHeatmapMaxBuckets &&
+         (n & (n - 1)) == 0;
+}
+
+void set_heatmap_enabled(bool on) noexcept {
+  detail::g_heat_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool heatmap_configure(const HeatmapConfig& cfg) {
+  if (!heatmap_valid_buckets(cfg.buckets)) return false;
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  g_buckets.store(cfg.buckets, std::memory_order_relaxed);
+  g_shift.store(shift_for(cfg.key_space, cfg.buckets),
+                std::memory_order_relaxed);
+  g_by_leaf.store(cfg.by_leaf, std::memory_order_relaxed);
+  g_key_space.store(cfg.key_space, std::memory_order_relaxed);
+  g_half_life_s.store(cfg.decay_half_life_s, std::memory_order_relaxed);
+  r.retired.assign(cell_count(), 0);
+  for (HeatSlab* s : r.slabs) s->cells.assign(cell_count(), 0);
+  r.samples.clear();
+  r.last_tick_ns = 0;
+  return true;
+}
+
+HeatmapConfig heatmap_config() {
+  HeatmapConfig cfg;
+  cfg.buckets = g_buckets.load(std::memory_order_relaxed);
+  cfg.by_leaf = g_by_leaf.load(std::memory_order_relaxed);
+  cfg.key_space = g_key_space.load(std::memory_order_relaxed);
+  cfg.decay_half_life_s = g_half_life_s.load(std::memory_order_relaxed);
+  return cfg;
+}
+
+std::uint32_t heatmap_bucket_of(std::uint64_t key) noexcept {
+  const std::uint32_t shift = g_shift.load(std::memory_order_relaxed);
+  const std::uint32_t mask = g_buckets.load(std::memory_order_relaxed) - 1;
+  return static_cast<std::uint32_t>(key >> shift) & mask;
+}
+
+std::uint32_t heatmap_bucket_of_leaf(std::uint64_t leaf_off) noexcept {
+  const std::uint32_t mask = g_buckets.load(std::memory_order_relaxed) - 1;
+  return static_cast<std::uint32_t>(heat_mix(leaf_off)) & mask;
+}
+
+void heatmap_decay(double factor) {
+  if (factor < 0.0) factor = 0.0;
+  if (factor >= 1.0) return;
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  decay_locked(r, factor);
+}
+
+void heatmap_tick(std::uint64_t now_ns) {
+  if (!heatmap_enabled()) return;
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  const double hl = g_half_life_s.load(std::memory_order_relaxed);
+  if (hl > 0.0 && r.last_tick_ns != 0 && now_ns > r.last_tick_ns) {
+    const double dt_s =
+        static_cast<double>(now_ns - r.last_tick_ns) / 1e9;
+    decay_locked(r, std::exp2(-dt_s / hl));
+  }
+  r.last_tick_ns = now_ns;
+  const std::uint32_t buckets = g_buckets.load(std::memory_order_relaxed);
+  if (buckets > kMaxTrackBuckets) return;
+  const std::vector<std::uint64_t> sum = aggregate_locked(r);
+  TrackSample ts;
+  ts.ts_ns = now_ns;
+  ts.scores.resize(buckets, 0);
+  for (std::uint32_t b = 0; b < buckets; ++b)
+    ts.scores[b] = bucket_score(&sum[static_cast<std::size_t>(b) *
+                                     kHeatCauseCount]);
+  r.samples.push_back(std::move(ts));
+  if (r.samples.size() > kMaxTrackSamples) r.samples.pop_front();
+}
+
+void heatmap_reset() {
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  r.retired.assign(cell_count(), 0);
+  for (HeatSlab* s : r.slabs) s->cells.assign(cell_count(), 0);
+  r.samples.clear();
+  r.last_tick_ns = 0;
+}
+
+HeatmapSnapshot heatmap_snapshot() {
+  HeatmapSnapshot out;
+  out.cfg = heatmap_config();
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  const std::vector<std::uint64_t> sum = aggregate_locked(r);
+  const std::uint32_t buckets = g_buckets.load(std::memory_order_relaxed);
+  const std::uint32_t shift = g_shift.load(std::memory_order_relaxed);
+  const bool by_leaf = g_by_leaf.load(std::memory_order_relaxed);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const std::uint64_t* c = &sum[static_cast<std::size_t>(b) *
+                                  kHeatCauseCount];
+    bool any = false;
+    for (int i = 0; i < kHeatCauseCount; ++i) any |= c[i] != 0;
+    if (!any) continue;
+    HeatBucket hb;
+    hb.id = b;
+    if (!by_leaf && shift < 64) {
+      hb.lo = static_cast<std::uint64_t>(b) << shift;
+      hb.hi = hb.lo + ((1ull << shift) - 1);
+    }
+    for (int i = 0; i < kHeatCauseCount; ++i) {
+      hb.counts[i] = c[i];
+      out.totals[i] += c[i];
+    }
+    hb.score = bucket_score(c);
+    out.buckets.push_back(hb);
+  }
+  std::sort(out.buckets.begin(), out.buckets.end(),
+            [](const HeatBucket& a, const HeatBucket& b) {
+              if (a.score != b.score) return a.score > b.score;
+              const auto ops = static_cast<int>(HeatCause::kOp);
+              if (a.counts[ops] != b.counts[ops])
+                return a.counts[ops] > b.counts[ops];
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::string heatmap_json() {
+  if (!heatmap_enabled()) return {};
+  const HeatmapSnapshot snap = heatmap_snapshot();
+  std::string out;
+  out += "{\n    \"buckets\": ";
+  append_u64(out, snap.cfg.buckets);
+  out += ",\n    \"mode\": \"";
+  out += snap.cfg.by_leaf ? "leaf" : "key";
+  out += "\",\n    \"key_space\": ";
+  append_u64(out, snap.cfg.key_space);
+  out += ",\n    \"decay_half_life_s\": ";
+  append_double(out, snap.cfg.decay_half_life_s);
+  out += ",\n    \"events\": {";
+  for (int i = 0; i < kHeatCauseCount; ++i) {
+    if (i) out += ",";
+    out += "\n      \"";
+    out += to_string(static_cast<HeatCause>(i));
+    out += "\": ";
+    append_u64(out, snap.totals[i]);
+  }
+  out += "\n    },\n    \"top\": [";
+  constexpr std::size_t kTopK = 32;
+  const std::size_t n = std::min(kTopK, snap.buckets.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const HeatBucket& hb = snap.buckets[i];
+    if (i) out += ",";
+    out += "\n      {\"bucket\": ";
+    append_u64(out, hb.id);
+    if (!snap.cfg.by_leaf) {
+      out += ", \"lo\": ";
+      append_u64(out, hb.lo);
+      out += ", \"hi\": ";
+      append_u64(out, hb.hi);
+    }
+    out += ", \"score\": ";
+    append_u64(out, hb.score);
+    for (int c = 0; c < kHeatCauseCount; ++c) {
+      out += ", \"";
+      out += to_string(static_cast<HeatCause>(c));
+      out += "\": ";
+      append_u64(out, hb.counts[c]);
+    }
+    out += "}";
+  }
+  out += n ? "\n    ]\n  }" : "]\n  }";
+  return out;
+}
+
+std::vector<HeatTrack> heatmap_tracks(std::size_t top_k) {
+  std::vector<HeatTrack> out;
+  if (!heatmap_enabled() || top_k == 0) return out;
+  HeatRegistry& r = heat_reg();
+  std::lock_guard lk(r.mu);
+  if (r.samples.empty()) return out;
+  const std::uint32_t buckets = g_buckets.load(std::memory_order_relaxed);
+  // Rank buckets by their peak score over the retained samples so a bucket
+  // that was hot early (then decayed) still gets a track.
+  std::vector<std::uint64_t> peak(buckets, 0);
+  for (const TrackSample& s : r.samples)
+    for (std::uint32_t b = 0; b < s.scores.size() && b < buckets; ++b)
+      peak[b] = std::max(peak[b], s.scores[b]);
+  std::vector<std::uint32_t> ids(buckets);
+  for (std::uint32_t b = 0; b < buckets; ++b) ids[b] = b;
+  std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (peak[a] != peak[b]) return peak[a] > peak[b];
+    return a < b;
+  });
+  for (std::uint32_t id : ids) {
+    if (out.size() >= top_k || peak[id] == 0) break;
+    HeatTrack tr;
+    tr.bucket = id;
+    tr.points.reserve(r.samples.size());
+    for (const TrackSample& s : r.samples)
+      tr.points.push_back(
+          {s.ts_ns, id < s.scores.size() ? s.scores[id] : 0});
+    out.push_back(std::move(tr));
+  }
+  return out;
+}
+
+}  // namespace rnt::obs
+
+#else  // RNTREE_NO_HEATMAP
+
+// The TU still defines the detail symbols the header declares, so a library
+// built with the heatmap compiled out links cleanly against code that never
+// calls them.
+namespace rnt::obs::detail {
+std::atomic<bool> g_heat_enabled{false};
+thread_local HeatTls t_heat{rnt::obs::kHeatNoBucket};
+void heat_set_target(std::uint64_t) noexcept {}
+void heat_set_leaf(std::uint64_t) noexcept {}
+void heat_add(std::uint32_t, HeatCause) noexcept {}
+}  // namespace rnt::obs::detail
+
+namespace rnt::obs {
+const char* to_string(HeatCause) noexcept { return "?"; }
+bool heatmap_valid_buckets(std::uint64_t n) noexcept {
+  return n >= kHeatmapMinBuckets && n <= kHeatmapMaxBuckets &&
+         (n & (n - 1)) == 0;
+}
+}  // namespace rnt::obs
+
+#endif  // RNTREE_NO_HEATMAP

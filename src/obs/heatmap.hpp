@@ -1,0 +1,234 @@
+// Contention heatmap — WHERE aborts, fallbacks, and lock-wait timeouts
+// happen, not just how many.
+//
+// The registry counters (htm.*) say a run had N conflict aborts; ROADMAP
+// items 3 (COW SMOs) and 5 (fine-grained fallback locking) need to know
+// whether those N came from one hot leaf or were spread across the tree.
+// This module attributes every abort (by cause), every fallback-lock
+// acquisition, and every bounded-lock-wait timeout to a fixed-size table of
+// key-range buckets:
+//
+//   * Bucketing is power-of-two range partitioning over the keyspace:
+//     bucket = key >> (ceil_log2(key_space) - log2(buckets)).  key_space 0
+//     means the full 64-bit space (real benches use mix64-scrambled keys
+//     spanning it); the DES benches set key_space to their item count so the
+//     same table resolves their dense [0, keys) space.
+//   * Optional per-leaf-address mode (by_leaf): once the op has resolved its
+//     leaf, the bucket is re-derived from the leaf's pool offset, so
+//     attribution follows physical leaves across splits instead of key
+//     ranges.
+//   * The op's target is carried in TLS by an RAII HeatScope constructed at
+//     the RNTree op entry points; the retry machine in htm/rtm.hpp calls
+//     heatmap_record(cause) at each abort/fallback/timeout site and the TLS
+//     target names the bucket.  The DES simulator attributes directly with
+//     heatmap_record_at(key, cause).
+//   * Storage is thread-sharded exactly like obs/metrics: per-thread plain
+//     u64 cells (atomic_ref relaxed), a registry mutex only for aggregation,
+//     and exited threads fold their cells into retired totals.
+//   * Exponential decay: heatmap_decay(factor) scales every cell, so the
+//     ranking tracks workload shifts; the sampler applies it on its tick
+//     when decay_half_life_s is configured (0 = cumulative counts, the
+//     default, which keeps ctest assertions deterministic).
+//
+// Cost contract (same as obs/phase.hpp): OFF by default — every
+// instrumentation point is one relaxed atomic load + predicted branch.
+// Defining RNTREE_NO_HEATMAP (CMake -DRNTREE_HEATMAP=OFF) compiles the whole
+// mechanism down to nothing so the perf gate can prove the disabled cost is
+// zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnt::obs {
+
+/// What happened at the op's target location.  kOp is the op itself
+/// (recorded by HeatScope so cold buckets are distinguishable from unvisited
+/// ones); the others mirror the htm.* counter families.
+enum class HeatCause : std::uint8_t {
+  kConflict = 0,       ///< conflict abort
+  kCapacity,           ///< capacity abort (fell back immediately)
+  kOther,              ///< spurious / lock-subscription abort
+  kFallback,           ///< fallback-lock acquisition
+  kLockWaitTimeout,    ///< bounded lock-wait hit the starvation cap
+  kOp,                 ///< an operation targeted this bucket
+};
+inline constexpr int kHeatCauseCount = 6;
+
+const char* to_string(HeatCause c) noexcept;
+
+inline constexpr std::uint32_t kHeatmapMinBuckets = 2;
+inline constexpr std::uint32_t kHeatmapMaxBuckets = 4096;
+
+struct HeatmapConfig {
+  std::uint32_t buckets = 64;  ///< power of two in [min, max]
+  bool by_leaf = false;        ///< bucket by leaf pool offset once resolved
+  /// Keyspace extent for range partitioning; 0 = full 2^64.  Rounded up to
+  /// a power of two.
+  std::uint64_t key_space = 0;
+  /// Half-life (seconds) for sampler-driven decay; 0 = no decay.
+  double decay_half_life_s = 0.0;
+};
+
+/// True iff @p n is an acceptable bucket count (power of two in range).
+bool heatmap_valid_buckets(std::uint64_t n) noexcept;
+
+struct HeatBucket {
+  std::uint32_t id = 0;
+  std::uint64_t lo = 0;  ///< inclusive key-range lower bound (key mode)
+  std::uint64_t hi = 0;  ///< inclusive key-range upper bound (key mode)
+  std::uint64_t counts[kHeatCauseCount] = {};
+  /// Contention score: everything except kOp.
+  std::uint64_t score = 0;
+};
+
+struct HeatmapSnapshot {
+  HeatmapConfig cfg;
+  std::uint64_t totals[kHeatCauseCount] = {};
+  /// Non-empty buckets, sorted by score desc, ties by ops desc then id.
+  std::vector<HeatBucket> buckets;
+};
+
+/// One Perfetto counter-track sample series for a hot bucket.
+struct HeatTrackPoint {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t score = 0;
+};
+struct HeatTrack {
+  std::uint32_t bucket = 0;
+  std::vector<HeatTrackPoint> points;
+};
+
+namespace detail {
+extern std::atomic<bool> g_heat_enabled;
+// Constant-initialised POD TLS: the current op's resolved bucket
+// (kHeatNoBucket when no HeatScope is armed).
+struct HeatTls {
+  std::uint32_t bucket;
+};
+extern thread_local HeatTls t_heat;
+void heat_set_target(std::uint64_t key) noexcept;     // also counts kOp
+void heat_set_leaf(std::uint64_t leaf_off) noexcept;  // by_leaf refinement
+void heat_add(std::uint32_t bucket, HeatCause c) noexcept;
+}  // namespace detail
+
+inline constexpr std::uint32_t kHeatNoBucket = ~0u;
+
+#if defined(RNTREE_NO_HEATMAP)
+
+inline bool heatmap_enabled() noexcept { return false; }
+inline void set_heatmap_enabled(bool) noexcept {}
+inline bool heatmap_configure(const HeatmapConfig&) noexcept { return false; }
+inline HeatmapConfig heatmap_config() noexcept { return {}; }
+inline std::uint32_t heatmap_bucket_of(std::uint64_t) noexcept { return 0; }
+inline std::uint32_t heatmap_bucket_of_leaf(std::uint64_t) noexcept { return 0; }
+inline void heatmap_record(HeatCause) noexcept {}
+inline void heatmap_record_at(std::uint64_t, HeatCause) noexcept {}
+inline void heatmap_decay(double) noexcept {}
+inline void heatmap_tick(std::uint64_t) noexcept {}
+inline void heatmap_reset() noexcept {}
+inline HeatmapSnapshot heatmap_snapshot() { return {}; }
+inline std::string heatmap_json() { return {}; }
+inline std::vector<HeatTrack> heatmap_tracks(std::size_t) { return {}; }
+
+class HeatScope {
+ public:
+  explicit HeatScope(std::uint64_t) noexcept {}
+  void leaf(std::uint64_t) noexcept {}
+  HeatScope(const HeatScope&) = delete;
+  HeatScope& operator=(const HeatScope&) = delete;
+};
+
+#else
+
+inline bool heatmap_enabled() noexcept {
+  return detail::g_heat_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm/disarm recording process-wide.  Enable only after configuring.
+void set_heatmap_enabled(bool on) noexcept;
+
+/// Install @p cfg and clear the table.  Returns false (and changes nothing)
+/// on an invalid bucket count.  Callers must be quiescent: no concurrent
+/// recorders (benches/tests configure before starting workers).
+bool heatmap_configure(const HeatmapConfig& cfg);
+
+HeatmapConfig heatmap_config();
+
+/// Key-range bucket of @p key under the current config (exposed so tests
+/// and benches can compute an expected bucket).
+std::uint32_t heatmap_bucket_of(std::uint64_t key) noexcept;
+
+/// Leaf-address bucket of a leaf pool offset (by_leaf mode).
+std::uint32_t heatmap_bucket_of_leaf(std::uint64_t leaf_off) noexcept;
+
+/// Record @p c against the current op's TLS target (no-op when disabled or
+/// when no HeatScope is armed — an abort outside any tree op has no
+/// location).  One relaxed load + branch when disabled.
+inline void heatmap_record(HeatCause c) noexcept {
+  if (!heatmap_enabled()) return;
+  const std::uint32_t b = detail::t_heat.bucket;
+  if (b != kHeatNoBucket) detail::heat_add(b, c);
+}
+
+/// Record @p c against @p key's range bucket directly (DES simulator path;
+/// ignores by_leaf mode).
+inline void heatmap_record_at(std::uint64_t key, HeatCause c) noexcept {
+  if (!heatmap_enabled()) return;
+  detail::heat_add(heatmap_bucket_of(key), c);
+}
+
+/// Scale every cell by @p factor in [0, 1) — the decay step.  Concurrent
+/// owner-thread increments are not lost-update-safe (same caveat as
+/// obs::reset_counter); the error is at most a few in-flight events.
+void heatmap_decay(double factor);
+
+/// Sampler hook: apply half-life decay for the elapsed interval (when
+/// configured) and append a counter-track sample at @p now_ns.
+void heatmap_tick(std::uint64_t now_ns);
+
+/// Zero every cell and drop track samples; config and enablement stay.
+void heatmap_reset();
+
+HeatmapSnapshot heatmap_snapshot();
+
+/// The "heatmap" JSON section ("" when disabled): config, per-cause event
+/// totals, and the top hot buckets by score.
+std::string heatmap_json();
+
+/// Time series of the @p top_k hottest buckets (by peak score across the
+/// retained samples) for Perfetto counter tracks.
+std::vector<HeatTrack> heatmap_tracks(std::size_t top_k);
+
+/// RAII op-target scope: constructed (with the op's key) at tree op entry
+/// points; restores the previous target on destruction so nested ops and
+/// post-op aborts never inherit a stale location.  Costs one relaxed load +
+/// branch when recording is off.
+class HeatScope {
+ public:
+  explicit HeatScope(std::uint64_t key) noexcept {
+    if (!heatmap_enabled()) return;
+    armed_ = true;
+    prev_ = detail::t_heat.bucket;
+    detail::heat_set_target(key);
+  }
+  ~HeatScope() {
+    if (armed_) detail::t_heat.bucket = prev_;
+  }
+  /// Refine the target to the resolved leaf (by_leaf mode only).
+  void leaf(std::uint64_t leaf_off) noexcept {
+    if (armed_) detail::heat_set_leaf(leaf_off);
+  }
+  HeatScope(const HeatScope&) = delete;
+  HeatScope& operator=(const HeatScope&) = delete;
+
+ private:
+  bool armed_ = false;
+  std::uint32_t prev_ = kHeatNoBucket;
+};
+
+#endif  // RNTREE_NO_HEATMAP
+
+}  // namespace rnt::obs

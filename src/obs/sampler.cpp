@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/timing.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 
 namespace rnt::obs {
@@ -78,6 +79,7 @@ struct Sampler::Impl {
     while (running) {
       lk.unlock();
       const Sample s = take_sample();  // aggregates outside our own mutex
+      heatmap_tick(s.ts_ns);  // decay + counter-track sample, same cadence
       lk.lock();
       if (!running) break;  // stop() raced: it takes the final sample itself
       push_locked(s);
@@ -111,6 +113,7 @@ void Sampler::start(SamplerConfig cfg) {
   i->running = true;
   lk.unlock();
   Sample first = take_sample();  // t=0 baseline, before workers start
+  heatmap_tick(first.ts_ns);
   lk.lock();
   i->push_locked(first);
   i->thr = std::thread([i] { i->run(); });
@@ -125,6 +128,7 @@ void Sampler::stop() {
   lk.unlock();
   i->thr.join();
   const Sample last = take_sample();  // final window covers the run's tail
+  heatmap_tick(last.ts_ns);
   lk.lock();
   i->push_locked(last);
 }

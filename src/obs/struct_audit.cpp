@@ -1,0 +1,161 @@
+#include "obs/struct_audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace rnt::obs {
+
+namespace {
+
+std::mutex g_section_mu;
+std::string g_section;  // guarded by g_section_mu
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_ratio(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+void fill_percentiles(std::vector<double>& fills, double& avg, double& p50,
+                      double& p99) {
+  avg = p50 = p99 = 0.0;
+  if (fills.empty()) return;
+  double sum = 0.0;
+  for (const double f : fills) sum += f;
+  avg = sum / static_cast<double>(fills.size());
+  std::sort(fills.begin(), fills.end());
+  auto rank = [&](double q) {
+    // Nearest-rank: smallest value with at least q of the mass at/below it.
+    const std::size_t n = fills.size();
+    std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (idx >= n) idx = n - 1;
+    return fills[idx];
+  };
+  p50 = rank(0.50);
+  p99 = rank(0.99);
+}
+
+}  // namespace detail
+
+std::string structure_json(const StructureReport& rep) {
+  std::string out;
+  out += "{\n    \"tree\": \"";
+  out += rep.tree;
+  out += "\",\n    \"height\": ";
+  append_u64(out, static_cast<std::uint64_t>(rep.height));
+  out += ",\n    \"inner_fanout\": ";
+  append_u64(out, static_cast<std::uint64_t>(rep.inner_fanout));
+  out += ",\n    \"slot_capacity\": ";
+  append_u64(out, static_cast<std::uint64_t>(rep.slot_capacity));
+  out += ",\n    \"log_capacity\": ";
+  append_u64(out, static_cast<std::uint64_t>(rep.log_capacity));
+  out += ",\n    \"levels\": [";
+  for (std::size_t i = 0; i < rep.levels.size(); ++i) {
+    const LevelStats& ls = rep.levels[i];
+    if (i) out += ",";
+    out += "\n      {\"level\": ";
+    append_u64(out, static_cast<std::uint64_t>(ls.level));
+    out += ", \"nodes\": ";
+    append_u64(out, ls.nodes);
+    out += ", \"fill_avg\": ";
+    append_ratio(out, ls.fill_avg);
+    out += ", \"fill_p50\": ";
+    append_ratio(out, ls.fill_p50);
+    out += ", \"fill_p99\": ";
+    append_ratio(out, ls.fill_p99);
+    out += "}";
+  }
+  out += rep.levels.empty() ? "]" : "\n    ]";
+  out += ",\n    \"leaves\": {\n      \"count\": ";
+  append_u64(out, rep.leaf.leaves);
+  out += ",\n      \"live_entries\": ";
+  append_u64(out, rep.leaf.live_entries);
+  out += ",\n      \"log_used\": ";
+  append_u64(out, rep.leaf.log_used);
+  out += ",\n      \"fill_avg\": ";
+  append_ratio(out, rep.leaf.fill_avg);
+  out += ",\n      \"fill_p50\": ";
+  append_ratio(out, rep.leaf.fill_p50);
+  out += ",\n      \"fill_p99\": ";
+  append_ratio(out, rep.leaf.fill_p99);
+  out += ",\n      \"chain_occupancy\": ";
+  append_ratio(out, rep.leaf.chain_occupancy);
+  out += ",\n      \"log_occupancy\": ";
+  append_ratio(out, rep.leaf.log_occupancy);
+  out += "\n    }";
+  if (rep.has_frag) {
+    const nvm::PoolFragmentation& f = rep.frag;
+    out += ",\n    \"fragmentation\": {\n      \"data_begin\": ";
+    append_u64(out, f.data_begin);
+    out += ",\n      \"bump\": ";
+    append_u64(out, f.bump);
+    out += ",\n      \"pool_size\": ";
+    append_u64(out, f.pool_size);
+    out += ",\n      \"allocated_bytes\": ";
+    append_u64(out, f.allocated_bytes);
+    out += ",\n      \"free_bytes\": ";
+    append_u64(out, f.free_bytes);
+    out += ",\n      \"tail_bytes\": ";
+    append_u64(out, f.tail_bytes);
+    out += ",\n      \"largest_free_run\": ";
+    append_u64(out, f.largest_free_run);
+    out += ",\n      \"free_blocks\": ";
+    append_u64(out, f.free_blocks);
+    out += ",\n      \"chunks_total\": ";
+    append_u64(out, f.chunks.size());
+    // Export only the most-fragmented chunks: a long run keeps a large,
+    // mostly-empty map out of the JSON while the totals above stay exact.
+    std::vector<const nvm::PoolFragmentation::Chunk*> worst;
+    for (const auto& c : f.chunks)
+      if (c.free_bytes > 0) worst.push_back(&c);
+    std::sort(worst.begin(), worst.end(),
+              [](const auto* a, const auto* b) {
+                if (a->free_bytes != b->free_bytes)
+                  return a->free_bytes > b->free_bytes;
+                return a->off < b->off;
+              });
+    constexpr std::size_t kMaxChunks = 32;
+    if (worst.size() > kMaxChunks) worst.resize(kMaxChunks);
+    out += ",\n      \"chunks\": [";
+    for (std::size_t i = 0; i < worst.size(); ++i) {
+      const auto& c = *worst[i];
+      if (i) out += ",";
+      out += "\n        {\"off\": ";
+      append_u64(out, c.off);
+      out += ", \"live_bytes\": ";
+      append_u64(out, c.live_bytes);
+      out += ", \"free_bytes\": ";
+      append_u64(out, c.free_bytes);
+      out += ", \"largest_free_run\": ";
+      append_u64(out, c.largest_free_run);
+      out += "}";
+    }
+    out += worst.empty() ? "]" : "\n      ]";
+    out += "\n    }";
+  }
+  out += "\n  }";
+  return out;
+}
+
+void set_structure_section(std::string json) {
+  std::lock_guard lk(g_section_mu);
+  g_section = std::move(json);
+}
+
+std::string structure_section() {
+  std::lock_guard lk(g_section_mu);
+  return g_section;
+}
+
+}  // namespace rnt::obs

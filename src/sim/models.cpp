@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
@@ -63,6 +64,7 @@ struct Ctx {
   std::vector<LeafSim> leaves;
   SimMutex htm_fallback;  ///< FPTree's global HTM fallback lock
   std::uint32_t tid_base = 0;  ///< trace track base for this run's workers
+  std::size_t inject_leaf = ~std::size_t{0};  ///< scripted-conflict target
   // aggregated results
   std::uint64_t completed = 0;
   std::uint64_t find_retries = 0;
@@ -75,7 +77,11 @@ struct Ctx {
         sched(s),
         channels(c.nvm_channels, c.costs.persist, c.costs.persist_occupancy),
         leaves(static_cast<std::size_t>(
-            std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))) {}
+            std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))) {
+    if (c.inject.enabled)
+      inject_leaf = static_cast<std::size_t>(mix64(c.inject.key ^ 0x9E37) %
+                                             leaves.size());
+  }
 };
 
 /// Key generator per worker: uniform or scrambled Zipfian over the key
@@ -91,9 +97,13 @@ class KeyGen {
           cfg.keys, cfg.zipf_theta, seed);
   }
 
-  std::size_t next_leaf() {
+  struct Pick {
+    std::uint64_t key;
+    std::size_t leaf;
+  };
+  Pick next() {
     const std::uint64_t key = zipf_ ? zipf_->next() : uniform_.next();
-    return static_cast<std::size_t>(mix64(key ^ 0x9E37) % leaves_);
+    return {key, static_cast<std::size_t>(mix64(key ^ 0x9E37) % leaves_)};
   }
 
  private:
@@ -133,10 +143,29 @@ Task worker(Ctx& ctx, int wid) {
 
     const bool is_update =
         rng.next_below(100) < static_cast<std::uint64_t>(ctx.cfg.update_pct);
-    const std::size_t leaf_idx = keys.next_leaf();
+    const KeyGen::Pick pick = keys.next();
+    const std::size_t leaf_idx = pick.leaf;
     LeafSim& leaf = ctx.leaves[leaf_idx];
     SimMetrics& sm = sim_metrics();
     SimPhases ph;
+    obs::heatmap_record_at(pick.key, obs::HeatCause::kOp);
+
+    // Scripted conflict injection (heatmap validation): every op landing on
+    // the configured hot leaf suffers deterministic conflict aborts and a
+    // fallback before the op proper, attributed exactly like the real retry
+    // machine's events.
+    if (ctx.cfg.inject.enabled && leaf_idx == ctx.inject_leaf) {
+      const SimTime inj0 = s.now();
+      for (int a = 0; a < ctx.cfg.inject.aborts; ++a) {
+        sm.aborts_conflict.inc();
+        obs::heatmap_record_at(ctx.cfg.inject.key, obs::HeatCause::kConflict);
+        co_await Delay{s, c.backoff};
+      }
+      ctx.htm_fallbacks++;
+      sm.fallbacks.inc();
+      obs::heatmap_record_at(ctx.cfg.inject.key, obs::HeatCause::kFallback);
+      ph.add(obs::Phase::kHtm, s.now() - inj0);
+    }
 
     if (!fptree) {
       // ----------------- RNTree / RNTree+DS -----------------
@@ -231,12 +260,14 @@ Task worker(Ctx& ctx, int wid) {
             rng.next_below(128) != 0)
           break;  // traversal committed
         sm.aborts_conflict.inc();
+        obs::heatmap_record_at(pick.key, obs::HeatCause::kConflict);
         if (++attempts >= 3) {
           const SimTime tl = s.now();
           co_await ctx.htm_fallback.acquire(s);
           lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
           sm.fallbacks.inc();
+          obs::heatmap_record_at(pick.key, obs::HeatCause::kFallback);
           co_await Delay{s, c.traverse};
           ctx.htm_fallback.release(s);
           break;
@@ -285,12 +316,14 @@ Task worker(Ctx& ctx, int wid) {
         if (committed) break;
         ctx.find_retries++;
         sm.aborts_conflict.inc();
+        obs::heatmap_record_at(pick.key, obs::HeatCause::kConflict);
         if (++attempts >= 3) {
           const SimTime tl = s.now();
           co_await ctx.htm_fallback.acquire(s);
           lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
           sm.fallbacks.inc();
+          obs::heatmap_record_at(pick.key, obs::HeatCause::kFallback);
           co_await Delay{s, c.traverse};
           const SimTime tw = s.now();
           while (leaf.lock.locked()) co_await Delay{s, c.backoff};

@@ -70,6 +70,14 @@ struct SimConfig {
   /// leaf critical section (the decoupled design of S3.4) instead of the
   /// paper's overlapped placement.  Applies to the RNTree models only.
   bool flush_inside_lock = false;
+  /// Scripted conflict injection (heatmap validation): every op that lands
+  /// on @p key's leaf suffers @p aborts simulated conflict aborts and then a
+  /// fallback, attributed to the heatmap like the real retry machine's.
+  struct Inject {
+    bool enabled = false;
+    std::uint64_t key = 0;
+    int aborts = 3;
+  } inject;
   Costs costs;
 };
 

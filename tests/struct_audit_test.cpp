@@ -1,0 +1,147 @@
+// Structural auditor tests: percentile math, a known-shape tree census,
+// consistency of the report against the tree's own accessors, and the pool
+// fragmentation map's byte accounting.
+#include "obs/struct_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/rntree.hpp"
+#include "nvm/pool.hpp"
+
+namespace rnt::obs {
+namespace {
+
+using Tree = core::RNTree<std::uint64_t, std::uint64_t>;
+
+TEST(FillPercentiles, NearestRank) {
+  std::vector<double> fills = {0.1, 0.9, 0.5, 0.3, 0.7};
+  double avg = 0, p50 = 0, p99 = 0;
+  detail::fill_percentiles(fills, avg, p50, p99);
+  EXPECT_DOUBLE_EQ(avg, 0.5);
+  EXPECT_DOUBLE_EQ(p50, 0.5);
+  EXPECT_DOUBLE_EQ(p99, 0.9);
+
+  std::vector<double> empty;
+  avg = p50 = p99 = -1;
+  detail::fill_percentiles(empty, avg, p50, p99);
+  EXPECT_DOUBLE_EQ(avg, 0.0);
+  EXPECT_DOUBLE_EQ(p50, 0.0);
+  EXPECT_DOUBLE_EQ(p99, 0.0);
+}
+
+TEST(StructAudit, SingleLeafTree) {
+  nvm::PmemPool pool(64u << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ASSERT_TRUE(tree.upsert(mix64(i), i).ok());
+
+  const StructureReport rep = audit_tree(tree);
+  EXPECT_EQ(rep.height, tree.height());
+  EXPECT_EQ(rep.inner_fanout, Tree::inner_fanout());
+  EXPECT_EQ(rep.slot_capacity, Tree::slot_capacity());
+  EXPECT_EQ(rep.log_capacity, Tree::log_capacity());
+  EXPECT_EQ(rep.leaf.leaves, 1u);
+  EXPECT_EQ(rep.leaf.live_entries, 10u);
+  EXPECT_GT(rep.leaf.fill_avg, 0.0);
+  EXPECT_LE(rep.leaf.fill_avg, 1.0);
+  EXPECT_DOUBLE_EQ(rep.leaf.chain_occupancy,
+                   10.0 / Tree::slot_capacity());
+  EXPECT_FALSE(rep.has_frag);
+}
+
+TEST(StructAudit, GrownTreeMatchesTreeAccessors) {
+  nvm::PmemPool pool(128u << 20);
+  Tree tree(pool);
+  constexpr std::uint64_t kKeys = 20'000;
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    ASSERT_TRUE(tree.upsert(mix64(i), i).ok());
+
+  const StructureReport rep = audit_tree(tree, pool);
+  EXPECT_EQ(rep.height, tree.height());
+  EXPECT_GE(rep.height, 1);
+  EXPECT_EQ(rep.leaf.leaves, tree.leaf_count());
+  EXPECT_EQ(rep.leaf.live_entries, kKeys);
+  ASSERT_FALSE(rep.levels.empty());
+  // Root first (highest level), exactly one root node, monotone widening.
+  EXPECT_EQ(rep.levels.front().nodes, 1u);
+  for (std::size_t i = 1; i < rep.levels.size(); ++i) {
+    EXPECT_LT(rep.levels[i].level, rep.levels[i - 1].level);
+    EXPECT_GE(rep.levels[i].nodes, rep.levels[i - 1].nodes);
+  }
+  for (const LevelStats& lv : rep.levels) {
+    EXPECT_GT(lv.fill_avg, 0.0);
+    EXPECT_LE(lv.fill_p99, 1.0);
+    EXPECT_LE(lv.fill_p50, lv.fill_p99);
+  }
+  EXPECT_GT(rep.leaf.chain_occupancy, 0.0);
+  EXPECT_LE(rep.leaf.chain_occupancy, 1.0);
+  EXPECT_GE(rep.leaf.log_occupancy, 0.0);
+
+  // Fragmentation accounting: the carved region splits into live + free,
+  // and the tail is everything the bump frontier has not reached.
+  ASSERT_TRUE(rep.has_frag);
+  const nvm::PoolFragmentation& fr = rep.frag;
+  EXPECT_EQ(fr.allocated_bytes, fr.bump - fr.data_begin);
+  EXPECT_EQ(fr.tail_bytes, fr.pool_size - fr.bump);
+  EXPECT_LE(fr.free_bytes, fr.allocated_bytes);
+  EXPECT_LE(fr.largest_free_run, fr.free_bytes);
+  std::uint64_t live = 0, free_sum = 0;
+  for (const auto& c : fr.chunks) {
+    live += c.live_bytes;
+    free_sum += c.free_bytes;
+    EXPECT_LE(c.largest_free_run, c.free_bytes);
+  }
+  EXPECT_EQ(live + free_sum, fr.allocated_bytes);
+}
+
+TEST(StructAudit, AuditIsSafeDuringConcurrentWrites) {
+  nvm::PmemPool pool(128u << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 5'000; ++i)
+    ASSERT_TRUE(tree.upsert(mix64(i), i).ok());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t j = 5'000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tree.upsert(mix64(j), j);
+      ++j;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    const StructureReport rep = audit_tree(tree);
+    EXPECT_GE(rep.leaf.leaves, 1u);
+    EXPECT_GE(rep.leaf.live_entries, 5'000u);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(StructAudit, JsonSectionRoundTrip) {
+  nvm::PmemPool pool(64u << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 1'000; ++i)
+    ASSERT_TRUE(tree.upsert(mix64(i), i).ok());
+  StructureReport rep = audit_tree(tree, pool);
+  rep.tree = "RNTree";
+  const std::string json = structure_json(rep);
+  EXPECT_NE(json.find("\"tree\": \"RNTree\""), std::string::npos);
+  EXPECT_NE(json.find("\"height\": "), std::string::npos);
+  EXPECT_NE(json.find("\"levels\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"leaves\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"fragmentation\": {"), std::string::npos);
+
+  set_structure_section(json);
+  EXPECT_EQ(structure_section(), json);
+  set_structure_section("");
+  EXPECT_TRUE(structure_section().empty());
+}
+
+}  // namespace
+}  // namespace rnt::obs

@@ -2,7 +2,9 @@
 """Run one bench binary with tiny parameters and validate its JSON export.
 
 Usage:
-    bench_smoke.py [--schema=stats|gate] [--telemetry] <binary> [bench flags...]
+    bench_smoke.py [--schema=stats|gate] [--telemetry] [--introspect]
+                   [--require-structure] [--expect-usage-error]
+                   <binary> [bench flags...]
 
 Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
 --schema=gate) pointing at a temp file, runs the binary, and checks that it
@@ -21,6 +23,18 @@ With --telemetry (stats schema only) the bench additionally runs with
 "timeseries" section with at least one rate window, and the Perfetto file
 must be valid chrome://tracing JSON with thread_name metadata and complete
 ("X") slices carrying ts/dur/tid/name.
+
+With --introspect (stats schema only) the document must carry a "heatmap"
+section (run the bench with --heatmap-buckets=N) whose bucket table matches
+the documented shape; when meta.heatmap_expected_bucket is present (fig10's
+scripted conflict injection), the bucket with the most conflict aborts must
+be exactly that bucket — the end-to-end check that attribution lands where
+the contention actually is.  --require-structure additionally demands a
+schema-valid "structure" section (benches that audit a tree, e.g. fig4).
+
+With --expect-usage-error the binary must exit 2 and print a usage message;
+no JSON flag is appended.  Covers flag-validation hygiene (--sample-ms=0,
+out-of-range --heatmap-buckets, ...).
 
 Registered in bench/CMakeLists.txt as one ctest per bench binary, so "the
 benches still run and still export what the tooling parses" is part of the
@@ -118,6 +132,86 @@ def validate_perfetto(path):
         expect(isinstance(e.get("name"), str), f"slice missing name: {e}")
 
 
+HEAT_CAUSES = [
+    "aborts_conflict",
+    "aborts_capacity",
+    "aborts_other",
+    "fallbacks",
+    "lock_wait_timeouts",
+    "ops",
+]
+
+
+def validate_heatmap(doc):
+    hm = doc.get("heatmap")
+    expect(isinstance(hm, dict),
+           "missing object 'heatmap' (run with --heatmap-buckets=N)")
+    expect(isinstance(hm.get("buckets"), int) and hm["buckets"] >= 2,
+           "heatmap.buckets not an int >= 2")
+    expect(hm.get("mode") in ("key", "leaf"),
+           f"heatmap.mode is {hm.get('mode')!r}, want 'key' or 'leaf'")
+    events = hm.get("events")
+    expect(isinstance(events, dict), "missing object 'heatmap.events'")
+    for c in HEAT_CAUSES:
+        expect(isinstance(events.get(c), int), f"heatmap.events.{c} not an int")
+    top = hm.get("top")
+    expect(isinstance(top, list), "heatmap.top not a list")
+    for i, b in enumerate(top):
+        expect(isinstance(b.get("bucket"), int) and 0 <= b["bucket"] < hm["buckets"],
+               f"heatmap.top[{i}].bucket out of range")
+        expect(isinstance(b.get("score"), int), f"heatmap.top[{i}].score not an int")
+        for c in HEAT_CAUSES:
+            expect(isinstance(b.get(c), int), f"heatmap.top[{i}].{c} not an int")
+    # The tentpole's end-to-end assertion: fig10's scripted conflict storm on
+    # a known key must surface as the top bucket by conflict-abort count.
+    want = doc["meta"].get("heatmap_expected_bucket")
+    if want is not None:
+        expect(top, "heatmap.top empty despite scripted injection")
+        hottest = max(top, key=lambda b: b["aborts_conflict"])
+        expect(hottest["aborts_conflict"] > 0,
+               "no conflict aborts recorded despite scripted injection")
+        expect(hottest["bucket"] == want,
+               f"hottest bucket by conflict aborts is {hottest['bucket']}, "
+               f"expected {want} (meta.heatmap_expected_bucket)")
+
+
+def validate_structure(doc):
+    st = doc.get("structure")
+    expect(isinstance(st, dict),
+           "missing object 'structure' (bench did not audit a tree)")
+    expect(isinstance(st.get("tree"), str), "structure.tree not a string")
+    expect(isinstance(st.get("height"), int) and st["height"] >= 1,
+           "structure.height not an int >= 1")
+    for k in ("inner_fanout", "slot_capacity", "log_capacity"):
+        expect(isinstance(st.get(k), int) and st[k] > 0,
+               f"structure.{k} not a positive int")
+    levels = st.get("levels")
+    expect(isinstance(levels, list), "structure.levels not a list")
+    for i, lv in enumerate(levels):
+        for k in ("level", "nodes"):
+            expect(isinstance(lv.get(k), int), f"levels[{i}].{k} not an int")
+        for k in ("fill_avg", "fill_p50", "fill_p99"):
+            expect(is_num(lv.get(k)), f"levels[{i}].{k} not a number")
+    leaves = st.get("leaves")
+    expect(isinstance(leaves, dict), "missing object 'structure.leaves'")
+    for k in ("count", "live_entries", "log_used"):
+        expect(isinstance(leaves.get(k), int), f"leaves.{k} not an int")
+    for k in ("fill_avg", "fill_p50", "fill_p99", "chain_occupancy",
+              "log_occupancy"):
+        expect(is_num(leaves.get(k)), f"leaves.{k} not a number")
+    expect(leaves["count"] >= 1, "leaves.count not >= 1")
+    frag = st.get("fragmentation")
+    if frag is not None:
+        expect(isinstance(frag, dict), "structure.fragmentation not an object")
+        for k in ("data_begin", "bump", "pool_size", "allocated_bytes",
+                  "free_bytes", "tail_bytes", "largest_free_run",
+                  "free_blocks", "chunks_total"):
+            expect(isinstance(frag.get(k), int), f"fragmentation.{k} not an int")
+        for i, ch in enumerate(frag.get("chunks", [])):
+            for k in ("off", "live_bytes", "free_bytes", "largest_free_run"):
+                expect(isinstance(ch.get(k), int), f"chunks[{i}].{k} not an int")
+
+
 def validate_gate(doc):
     expect(isinstance(doc, dict), "document is not a JSON object")
     meta = doc.get("meta")
@@ -134,20 +228,47 @@ def main():
     args = sys.argv[1:]
     schema = "stats"
     telemetry = False
+    introspect = False
+    require_structure = False
+    expect_usage_error = False
     while args and args[0].startswith("--"):
         if args[0].startswith("--schema="):
             schema = args.pop(0).split("=", 1)[1]
         elif args[0] == "--telemetry":
             telemetry = True
             args.pop(0)
+        elif args[0] == "--introspect":
+            introspect = True
+            args.pop(0)
+        elif args[0] == "--require-structure":
+            require_structure = True
+            args.pop(0)
+        elif args[0] == "--expect-usage-error":
+            expect_usage_error = True
+            args.pop(0)
         else:
             break
     if schema not in ("stats", "gate") or not args or (
-            telemetry and schema != "stats"):
+            (telemetry or introspect or require_structure) and schema != "stats"):
         print(__doc__, file=sys.stderr)
         return 2
 
     binary, bench_args = args[0], args[1:]
+
+    if expect_usage_error:
+        proc = subprocess.run([binary] + bench_args, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE, timeout=600)
+        if proc.returncode != 2:
+            sys.stdout.buffer.write(proc.stdout + proc.stderr)
+            fail(f"expected exit 2 for {' '.join(bench_args)}, "
+                 f"got {proc.returncode}")
+        if b"usage:" not in proc.stderr:
+            sys.stdout.buffer.write(proc.stderr)
+            fail("rejected flag did not print a usage message")
+        print(f"bench_smoke: OK ({os.path.basename(binary)}, usage-error "
+              f"for {' '.join(bench_args)})")
+        return 0
+
     json_flag = "--gate-json=" if schema == "gate" else "--stats-json="
     fd, path = tempfile.mkstemp(prefix="bench_smoke_", suffix=".json")
     os.close(fd)
@@ -174,7 +295,15 @@ def main():
         if telemetry:
             validate_timeseries(doc)
             validate_perfetto(perfetto_path)
+        if introspect:
+            validate_heatmap(doc)
+        if require_structure:
+            validate_structure(doc)
         mode = ", telemetry" if telemetry else ""
+        if introspect:
+            mode += ", introspect"
+        if require_structure:
+            mode += ", structure"
         print(f"bench_smoke: OK ({os.path.basename(binary)}, "
               f"schema={schema}{mode})")
         return 0

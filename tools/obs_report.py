@@ -13,7 +13,12 @@ Reads one stats document (src/obs/export.hpp shape) and prints:
     the bench ran with --sample-ms=N,
   * a tail-latency table for every "lat.*" histogram (count, mean,
     p50/p90/p99/p999 in both ns and human units),
-  * an HTM abort-cause breakdown from the htm.* counters.
+  * an HTM abort-cause breakdown from the htm.* counters,
+  * a contention heatmap table from "heatmap" — the hottest buckets ranked
+    by contention score with per-cause counts and an ASCII heat bar — when
+    the bench ran with --heatmap-buckets=N,
+  * a structural report from "structure" — tree height, per-level fill
+    distribution and NVM pool fragmentation — when the bench audited a tree.
 
 Stdlib only; pairs with tools/bench_smoke.py (which validates the same
 document's schema in ctest).  Typical use:
@@ -141,6 +146,73 @@ def print_aborts(counters):
         print(f"  fallbacks     {fmt_si(fb):>10}")
 
 
+def heat_bar(score, hi, width=24):
+    if hi <= 0:
+        return ""
+    n = max(1, round(score / hi * width)) if score > 0 else 0
+    return "#" * n
+
+
+def print_heatmap(hm):
+    print(f"\n== contention heatmap ({hm.get('buckets')} "
+          f"{hm.get('mode')}-mode buckets) ==")
+    ev = hm.get("events", {})
+    total = sum(v for k, v in ev.items() if k != "ops")
+    print(f"  events: {fmt_si(ev.get('ops', 0))} ops, "
+          f"{fmt_si(total)} contention "
+          f"(conflict {fmt_si(ev.get('aborts_conflict', 0))}, "
+          f"capacity {fmt_si(ev.get('aborts_capacity', 0))}, "
+          f"other {fmt_si(ev.get('aborts_other', 0))}, "
+          f"fallback {fmt_si(ev.get('fallbacks', 0))}, "
+          f"lock-wait {fmt_si(ev.get('lock_wait_timeouts', 0))})")
+    top = hm.get("top", [])
+    if not top:
+        print("  (no bucket recorded any event)")
+        return
+    hi = max(b.get("score", 0) for b in top)
+    print(f"  {'bucket':>6} {'range':>24} {'score':>8} {'conflict':>8} "
+          f"{'capacity':>8} {'fallbk':>8} {'ops':>8}")
+    for b in top[:16]:
+        rng = (f"[{b['lo']:#x},{b['hi']:#x}]"
+               if "lo" in b and "hi" in b else "-")
+        if len(rng) > 24:
+            rng = f"[{b['lo']:#x},..]"
+        print(f"  {b['bucket']:>6} {rng:>24} {fmt_si(b.get('score', 0)):>8} "
+              f"{fmt_si(b.get('aborts_conflict', 0)):>8} "
+              f"{fmt_si(b.get('aborts_capacity', 0)):>8} "
+              f"{fmt_si(b.get('fallbacks', 0)):>8} "
+              f"{fmt_si(b.get('ops', 0)):>8}  "
+              f"{heat_bar(b.get('score', 0), hi)}")
+
+
+def print_structure(st):
+    print(f"\n== structure ({st.get('tree', '?')}) ==")
+    print(f"  height {st.get('height')}  inner_fanout {st.get('inner_fanout')}"
+          f"  slot_capacity {st.get('slot_capacity')}"
+          f"  log_capacity {st.get('log_capacity')}")
+    for lv in st.get("levels", []):
+        print(f"  level {lv['level']:>2}: {fmt_si(lv['nodes']):>8} nodes, "
+              f"fill avg {lv['fill_avg']:.2f} "
+              f"p50 {lv['fill_p50']:.2f} p99 {lv['fill_p99']:.2f}")
+    lf = st.get("leaves")
+    if lf:
+        print(f"  leaves:   {fmt_si(lf['count']):>8} nodes, "
+              f"{fmt_si(lf['live_entries'])} live entries, "
+              f"fill avg {lf['fill_avg']:.2f} p50 {lf['fill_p50']:.2f} "
+              f"p99 {lf['fill_p99']:.2f}")
+        print(f"            chain occupancy {lf['chain_occupancy']:.2f}, "
+              f"log occupancy {lf['log_occupancy']:.2f}")
+    fr = st.get("fragmentation")
+    if fr:
+        alloc = fr.get("allocated_bytes", 0)
+        free = fr.get("free_bytes", 0)
+        print(f"  pool:     {fmt_si(alloc)}B allocated, {fmt_si(free)}B free "
+              f"inside the frontier, {fmt_si(fr.get('tail_bytes', 0))}B tail, "
+              f"largest free run {fmt_si(fr.get('largest_free_run', 0))}B in "
+              f"{fmt_si(fr.get('free_blocks', 0))} blocks over "
+              f"{fr.get('chunks_total', 0)} chunks")
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -162,6 +234,17 @@ def main():
         print("\n(no timeseries section — run the bench with --sample-ms=N)")
     print_latency(doc.get("histograms", {}))
     print_aborts(doc.get("counters", {}))
+    hm = doc.get("heatmap")
+    if isinstance(hm, dict):
+        print_heatmap(hm)
+    else:
+        print("\n(no heatmap section — run the bench with --heatmap-buckets=N)")
+    st = doc.get("structure")
+    if isinstance(st, dict):
+        print_structure(st)
+    else:
+        print("\n(no structure section — only benches that audit a tree, e.g. "
+              "fig4, export one)")
     return 0
 
 

@@ -29,6 +29,11 @@
 //                      in the JSON dump (src/obs/heatmap.hpp)
 //   --heatmap-mode=M   heatmap bucketing: "key" (default, key-range buckets)
 //                      or "leaf" (hash of the op's resolved leaf address)
+//   --shards=N         shard count for the sharded panels (power of two in
+//                      [1, 16]); benches without a sharded mode ignore it
+//   --batch=K          group-persistency batch size: modifies per trailing
+//                      fence in the sharded/batched segments (default 1,
+//                      i.e. eager per-op fences)
 //
 // Either telemetry flag also arms per-op phase attribution
 // (obs::set_phase_timing), populating the lat.phase.* histograms.
@@ -57,6 +62,7 @@
 #include "obs/phase.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "workload/ycsb.hpp"
 
 namespace rnt::bench {
 
@@ -81,6 +87,12 @@ struct BenchOptions {
   std::string perfetto;          ///< --perfetto=FILE ("" = no timeline export)
   std::uint32_t heatmap_buckets = 0;  ///< --heatmap-buckets=N (0 = heatmap off)
   bool heatmap_by_leaf = false;  ///< --heatmap-mode=leaf
+  /// --shards=N shard count for the sharded panels/segments (power of two in
+  /// [1, PmemPool::kNumRoots]); 1 = unsharded.
+  std::uint32_t shards = 1;
+  /// --batch=K group-persistency batch size (modifies per trailing fence);
+  /// 1 = eager persists (the paper's Table-1 profile).
+  std::uint32_t batch = 1;
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
@@ -97,8 +109,11 @@ struct BenchOptions {
                  "  --perfetto=FILE    write chrome://tracing timeline JSON to FILE\n"
                  "  --heatmap-buckets=N  contention heatmap with N key-range buckets\n"
                  "                     (power of two, %u-%u); JSON \"heatmap\" section\n"
-                 "  --heatmap-mode=M   heatmap bucketing: key (default) or leaf\n",
-                 argv0, obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets);
+                 "  --heatmap-mode=M   heatmap bucketing: key (default) or leaf\n"
+                 "  --shards=N         shard count (power of two, 1-%d)\n"
+                 "  --batch=K          group-persistency batch size (modifies per fence)\n",
+                 argv0, obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets,
+                 nvm::PmemPool::kNumRoots);
   }
 
   /// Strict positive-integer flag value: the whole string must be digits and
@@ -158,6 +173,24 @@ struct BenchOptions {
                        " got '%s'\n",
                        argv[0], obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets,
                        v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = val("--shards=")) {
+        if (!parse_positive_u32(v, &o.shards) ||
+            o.shards > static_cast<std::uint32_t>(nvm::PmemPool::kNumRoots) ||
+            (o.shards & (o.shards - 1)) != 0) {
+          std::fprintf(stderr,
+                       "%s: --shards wants a power of two in [1, %d], got '%s'\n",
+                       argv[0], nvm::PmemPool::kNumRoots, v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = val("--batch=")) {
+        if (!parse_positive_u32(v, &o.batch)) {
+          std::fprintf(stderr,
+                       "%s: --batch wants a positive integer, got '%s'\n",
+                       argv[0], v);
           usage(argv[0]);
           std::exit(2);
         }
@@ -239,6 +272,8 @@ inline void export_stats(const BenchOptions& o, const std::string& bench_name,
     meta.push_back({"heatmap_buckets", std::to_string(o.heatmap_buckets), true});
     meta.push_back({"heatmap_mode", o.heatmap_by_leaf ? "leaf" : "key", false});
   }
+  if (o.shards != 1) meta.push_back({"shards", std::to_string(o.shards), true});
+  if (o.batch != 1) meta.push_back({"batch", std::to_string(o.batch), true});
   meta.insert(meta.end(), extra_meta.begin(), extra_meta.end());
   obs::write_json_snapshot(o.stats_json, meta, o.trace_in_json,
                            o.sample_ms != 0);
@@ -265,6 +300,41 @@ double measure_rate(double seconds, Fn&& op) {
   }
   const double elapsed = static_cast<double>(now_ns() - t0) * 1e-9;
   return static_cast<double>(ops) / elapsed;
+}
+
+/// Execute one workload::Op from an OpStream against @p tree, mapping stream
+/// keys through nth_key and drawing insert keys from @p fresh (so conditional
+/// inserts succeed every time, as the figure benches require).  kScan uses the
+/// caller-provided buffer to avoid per-op allocation, and falls back to a
+/// point find on trees without a scan_n (keeps mixed loops uniform across the
+/// zoo).  This is the one mix dispatcher all benches share, so adding an op
+/// type to MixSpec reaches every mixed loop.
+template <typename Tree>
+void execute_op(Tree& tree, const workload::Op& op, std::uint64_t* fresh,
+                std::vector<std::pair<std::uint64_t, std::uint64_t>>& scan_buf) {
+  switch (op.type) {
+    case workload::OpType::kFind:
+      (void)tree.find(nth_key(op.key));
+      break;
+    case workload::OpType::kInsert:
+      (void)tree.insert(nth_key((*fresh)++), 1);
+      break;
+    case workload::OpType::kUpdate:
+      (void)tree.update(nth_key(op.key), op.key);
+      break;
+    case workload::OpType::kRemove:
+      (void)tree.remove(nth_key(op.key));
+      break;
+    case workload::OpType::kScan:
+      if constexpr (requires {
+                      tree.scan_n(std::uint64_t{}, std::size_t{}, scan_buf);
+                    }) {
+        (void)tree.scan_n(nth_key(op.key), op.scan_n, scan_buf);
+      } else {
+        (void)tree.find(nth_key(op.key));
+      }
+      break;
+  }
 }
 
 // --- table printing -------------------------------------------------------

@@ -55,21 +55,9 @@ struct Fig4Runner {
     // mixed: 25% each; inserts draw fresh keys
     workload::OpStream mix(workload::MixSpec::mixed_25(),
                            workload::KeyDist::kUniform, opt.warm, 0.0, opt.seed);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> scan_buf;
     row.push_back(measure_rate(opt.seconds, [&](std::uint64_t) {
-                    const workload::Op op = mix.next();
-                    switch (op.type) {
-                      case workload::OpType::kFind:
-                        (void)tree->find(nth_key(op.key));
-                        break;
-                      case workload::OpType::kInsert:
-                        (void)tree->insert(nth_key(fresh++), 1);
-                        break;
-                      case workload::OpType::kUpdate:
-                        (void)tree->update(nth_key(op.key), op.key);
-                        break;
-                      default:
-                        (void)tree->remove(nth_key(op.key));
-                    }
+                    execute_op(*tree, mix.next(), &fresh, scan_buf);
                   }) /
                   1e6);
     // Structural audit of the worked-over tree (trees exposing the

@@ -148,6 +148,25 @@ void BM_RNTreeUpsert_140ns(benchmark::State& state) {
 }
 BENCHMARK(BM_RNTreeUpsert_140ns);
 
+void BM_MixYcsbE(benchmark::State& state) {
+  // Scan-heavy service mix (95% scan-of-100 / 5% insert) through the shared
+  // execute_op dispatcher — exercises the OpType::kScan path end to end.
+  nvm::config().write_latency_ns = 0;
+  nvm::PmemPool pool(std::size_t{256} << 20);
+  core::RNTree<> tree(pool);
+  constexpr std::uint64_t kWarm = 100'000;
+  for (std::uint64_t i = 0; i < kWarm; ++i) tree.upsert(mix64(i), i);
+  workload::OpStream mix(workload::MixSpec::ycsb_e(),
+                         workload::KeyDist::kUniform, kWarm, 0.0, 7);
+  std::uint64_t fresh = kWarm;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan_buf;
+  for (auto _ : state) {
+    bench::execute_op(tree, mix.next(), &fresh, scan_buf);
+    benchmark::DoNotOptimize(scan_buf);
+  }
+}
+BENCHMARK(BM_MixYcsbE);
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -239,6 +258,37 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
     (void)tree.remove(mix64(static_cast<std::uint64_t>(i) * 131 % warm));
   });
 
+  // Group-persistency gate: fences per update eagerly (KV fence + slot fence
+  // = 2) and per batch of 8 updates under one nvm::BatchScope (8 KV fences +
+  // 1 trailing barrier = 9).  Exact integers; regression here means the
+  // fence-amortization machinery broke.
+  const auto fences = [] {
+    const nvm::PersistStats& s = nvm::tls_stats();
+    return s.fence + s.batch_fence;
+  };
+  const auto fence_mode_of = [&](int rounds, auto&& op) {
+    std::map<std::uint64_t, int> freq;
+    for (int i = 0; i < rounds; ++i) {
+      const std::uint64_t before = fences();
+      op(i);
+      freq[fences() - before]++;
+    }
+    std::uint64_t best = 0;
+    int best_n = -1;
+    for (const auto& [v, n] : freq)
+      if (n > best_n) { best = v; best_n = n; }
+    return best;
+  };
+  const std::uint64_t update_f = fence_mode_of(64, [&](int i) {
+    (void)tree.update(mix64(static_cast<std::uint64_t>(i) * 193 % warm), 9);
+  });
+  const std::uint64_t batch8_f = fence_mode_of(16, [&](int i) {
+    nvm::BatchScope scope;
+    for (int j = 0; j < 8; ++j)
+      (void)tree.update(
+          mix64(static_cast<std::uint64_t>(i * 8 + j) * 197 % warm), 11);
+  });
+
   auto num = [](double v) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.4f", v);
@@ -247,7 +297,9 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
   std::vector<rnt::obs::MetaField> meta = rnt::obs::standard_meta();
   const std::vector<rnt::obs::MetaField> gate_meta = {
       {"bench", "micro_gate", false},
-      {"schema", "rnt-gate-v1", false},
+      // v2: adds the group-persistency fence modes (update_fences_mode,
+      // batch8_fences_mode).  Re-baseline BENCH_micro.json on schema bumps.
+      {"schema", "rnt-gate-v2", false},
       {"warm", std::to_string(warm), true},
       {"seconds", num(secs), true},
       {"calib_mops", num(calib * 1e-6), true},
@@ -258,14 +310,18 @@ int run_gate(const std::string& path, std::uint64_t warm, double secs) {
       {"insert_persists_mode", std::to_string(insert_p), true},
       {"update_persists_mode", std::to_string(update_p), true},
       {"remove_persists_mode", std::to_string(remove_p), true},
+      {"update_fences_mode", std::to_string(update_f), true},
+      {"batch8_fences_mode", std::to_string(batch8_f), true},
   };
   meta.insert(meta.end(), gate_meta.begin(), gate_meta.end());
   rnt::obs::write_json_snapshot(path, meta, false);
   std::printf("gate: calib %.2f Mops | find %.4f | insert %.4f | mixed %.4f"
-              " | persists f/i/u/r = %llu/%llu/%llu/%llu -> %s\n",
+              " | persists f/i/u/r = %llu/%llu/%llu/%llu"
+              " | fences u/batch8 = %llu/%llu -> %s\n",
               calib * 1e-6, find * 1e-6, insert * 1e-6, mixed * 1e-6,
               (unsigned long long)find_p, (unsigned long long)insert_p,
               (unsigned long long)update_p, (unsigned long long)remove_p,
+              (unsigned long long)update_f, (unsigned long long)batch8_f,
               path.c_str());
   return acc == 0x12345 ? 1 : 0;  // keep acc observable; always returns 0
 }

@@ -152,19 +152,37 @@ class RNTree {
     recover(crashed);
   }
 
+  /// Recover with an externally sampled shutdown state.  A multi-tree pool
+  /// owner (ShardedTree) must sample clean_shutdown() ONCE and mark the pool
+  /// dirty ONCE before recovering each member tree — otherwise the first
+  /// member's mark_dirty() would force every later member down the crash
+  /// path.  The caller owns the dirty/clean flag protocol.
+  RNTree(recover_t, nvm::PmemPool& pool, bool crashed, Options opt)
+      : pool_(pool), opt_(opt), inner_(epochs_) {
+    recover(crashed);
+  }
+
   RNTree(const RNTree&) = delete;
   RNTree& operator=(const RNTree&) = delete;
 
   /// Flush volatile leaf counters and mark the pool clean so the next open
   /// takes the fast reconstruction path.
   void close() {
+    flush_headers();
+    pool_.close_clean();
+  }
+
+  /// Persist every leaf's header line (plogs/nlogs) without touching the
+  /// pool's clean flag.  ShardedTree flushes ALL member trees first and only
+  /// then marks the shared pool clean, so a crash between two members' header
+  /// flushes still reads as dirty.
+  void flush_headers() {
     // plogs/nlogs live in the header line; persisting it makes the clean
     // path's trust in them sound.
     for (Leaf* leaf = leftmost(); leaf != nullptr; leaf = next_leaf(leaf)) {
       nvm::on_modified(leaf, kCacheLineSize);
       nvm::persist(leaf, kCacheLineSize);
     }
-    pool_.close_clean();
   }
 
   // ------------------------------------------------------------------
@@ -283,7 +301,6 @@ class RNTree {
   RNT_NO_SANITIZE_THREAD std::size_t scan(Key start, Fn&& fn) const {
     obs::OpTrace tr(obs::OpKind::kScan, start);
     obs::HeatScope hs(start);
-    tr.finish(true);
     epoch::Guard g = epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = inner_.find_leaf(start);
@@ -305,13 +322,25 @@ class RNTree {
       for (int i = from; i < count; ++i) batch[n_batch++] = leaf->logs[snap[1 + i]];
       Leaf* nxt = pool_.ptr<Leaf>(leaf->next.load(std::memory_order_acquire));
       if (leaf->vlock.stable_version() != v) continue;  // split raced: redo leaf
+      if (first) {
+        tr.leaf(pool_.off(leaf));
+        hs.leaf(pool_.off(leaf));
+      } else if (n_batch > 0) {
+        // Attribute heat to every leaf the scan actually visits, not just
+        // its start bucket — a 1000-key scan heats the whole visited range.
+        obs::heatmap_record_at(batch[0].key, obs::HeatCause::kOp);
+      }
       first = false;
       for (int i = 0; i < n_batch; ++i) {
         ++visited;
-        if (!fn(batch[i].key, batch[i].value)) return visited;
+        if (!fn(batch[i].key, batch[i].value)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       leaf = nxt;
     }
+    tr.finish(visited > 0);
     return visited;
   }
 
@@ -477,7 +506,12 @@ class RNTree {
     // equivalent).
     htm::atomic_exec_excl(
         [&]() { nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize); });
-    nvm::persist(leaf->pslot, kCacheLineSize);
+    // The slot line IS the op's durable commit point (the KV entry was
+    // persisted before the lock), so this flush — and only this flush — may
+    // defer its fence to a group-persistency batch barrier: a crash mid-batch
+    // loses whole unacknowledged ops, never tears one.  Outside a
+    // nvm::BatchScope this is a plain persist().
+    nvm::persist_batchable(leaf->pslot, kCacheLineSize);
     if (!opt_.dual_slot) {
       if (fnew != leaf->fps) std::memcpy(leaf->fps, fnew, kCacheLineSize);
       leaf->mseq.write_end();

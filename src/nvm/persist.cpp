@@ -24,6 +24,10 @@ struct PersistMetricIds {
   obs::MetricId fence = obs::register_metric("nvm.fence", obs::Kind::kCounter);
   obs::MetricId persist = obs::register_metric("nvm.persist", obs::Kind::kCounter);
   obs::MetricId lines = obs::register_metric("nvm.lines", obs::Kind::kCounter);
+  obs::MetricId batch_persist =
+      obs::register_metric("nvm.batch_persist", obs::Kind::kCounter);
+  obs::MetricId batch_fence =
+      obs::register_metric("nvm.batch_fence", obs::Kind::kCounter);
 };
 
 const PersistMetricIds& metric_ids() {
@@ -39,6 +43,8 @@ struct TlsEntry {
     obs::attach_cell(ids.fence, &stats.fence);
     obs::attach_cell(ids.persist, &stats.persist);
     obs::attach_cell(ids.lines, &stats.lines);
+    obs::attach_cell(ids.batch_persist, &stats.batch_persist);
+    obs::attach_cell(ids.batch_fence, &stats.batch_fence);
   }
   ~TlsEntry() {
     const PersistMetricIds& ids = metric_ids();
@@ -46,6 +52,8 @@ struct TlsEntry {
     obs::detach_cell(ids.fence, &stats.fence);
     obs::detach_cell(ids.persist, &stats.persist);
     obs::detach_cell(ids.lines, &stats.lines);
+    obs::detach_cell(ids.batch_persist, &stats.batch_persist);
+    obs::detach_cell(ids.batch_fence, &stats.batch_fence);
   }
 };
 
@@ -65,6 +73,8 @@ PersistStats aggregate_stats() {
   out.fence = obs::counter_value(ids.fence);
   out.persist = obs::counter_value(ids.persist);
   out.lines = obs::counter_value(ids.lines);
+  out.batch_persist = obs::counter_value(ids.batch_persist);
+  out.batch_fence = obs::counter_value(ids.batch_fence);
   return out;
 }
 
@@ -74,6 +84,8 @@ void reset_aggregate_stats() {
   obs::reset_counter(ids.fence);
   obs::reset_counter(ids.persist);
   obs::reset_counter(ids.lines);
+  obs::reset_counter(ids.batch_persist);
+  obs::reset_counter(ids.batch_fence);
 }
 
 namespace detail {
@@ -136,6 +148,53 @@ void persist(const void* p, std::size_t n) noexcept(false) {
   const std::size_t nlines = lines_spanned(p, n);
   for (std::size_t i = 0; i < nlines; ++i) clwb(c + i * kCacheLineSize);
   sfence();
+}
+
+namespace {
+thread_local int tls_batch_depth = 0;
+}  // namespace
+
+int batch_depth() noexcept { return tls_batch_depth; }
+
+void persist_batchable(const void* p, std::size_t n) noexcept(false) {
+  if (tls_batch_depth == 0) {
+    persist(p, n);
+    return;
+  }
+  obs::PhaseTimer pt(obs::Phase::kPersist);
+  tls_stats().batch_persist++;
+  const char* c = static_cast<const char*>(p);
+  const std::size_t nlines = lines_spanned(p, n);
+  for (std::size_t i = 0; i < nlines; ++i) clwb(c + i * kCacheLineSize);
+  // No fence: the lines stay write-pending until the scope's batch_barrier()
+  // (or any earlier eager sfence, which drains everything pending -- early
+  // durability is always safe; the batching only amortizes the fence COUNT).
+}
+
+void batch_barrier() noexcept(false) {
+  const std::uint32_t pending = detail::tls_pending_lines;
+  if (pending == 0) return;
+  obs::PhaseTimer pt(obs::Phase::kPersist);
+  auto& st = tls_stats();
+  st.batch_fence++;  // booked separately from single-op fences
+  st.lines += pending;
+  detail::tls_pending_lines = 0;
+  const NvmConfig& cfg = config();
+  const std::uint64_t wait =
+      cfg.write_latency_ns +
+      static_cast<std::uint64_t>(cfg.per_line_ns) * (pending - 1);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Same ordering contract as sfence(): lines become durable at the barrier,
+  // then the latency is charged.
+  if (shadow_active() != nullptr) detail::shadow_on_fence();
+  busy_wait_ns(wait);
+}
+
+BatchScope::BatchScope() noexcept { tls_batch_depth++; }
+
+BatchScope::~BatchScope() noexcept(false) {
+  tls_batch_depth--;
+  if (tls_batch_depth == 0) batch_barrier();
 }
 
 }  // namespace rnt::nvm

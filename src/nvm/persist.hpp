@@ -44,15 +44,23 @@ struct NvmConfig {
 /// synchronized (configure from one thread before spawning workers).
 NvmConfig& config() noexcept;
 
-/// Per-thread persistent-instruction counters.
+/// Per-thread persistent-instruction counters.  Group persistency is counted
+/// in separate fields (batch_persist/batch_fence) so that `persist` remains
+/// exactly the paper's Table-1 "persistent instruction" count: a deferred
+/// flush inside a BatchScope never inflates or deflates the single-op totals.
 struct PersistStats {
   std::uint64_t clwb = 0;      ///< individual line writebacks issued
   std::uint64_t fence = 0;     ///< fences issued
   std::uint64_t persist = 0;   ///< persist() compounds ("persistent instructions")
   std::uint64_t lines = 0;     ///< total lines drained by fences
+  std::uint64_t batch_persist = 0;  ///< deferred (fence-less) flush compounds
+  std::uint64_t batch_fence = 0;    ///< trailing batch barriers issued
 
   PersistStats operator-(const PersistStats& o) const noexcept {
-    return {clwb - o.clwb, fence - o.fence, persist - o.persist, lines - o.lines};
+    return {clwb - o.clwb,       fence - o.fence,
+            persist - o.persist, lines - o.lines,
+            batch_persist - o.batch_persist,
+            batch_fence - o.batch_fence};
   }
   void reset() noexcept { *this = {}; }
 };
@@ -129,6 +137,42 @@ void sfence() noexcept(false);
 /// Flush + fence over an arbitrary byte range; the paper's "persistent
 /// instruction" compound (counted once in PersistStats::persist).
 void persist(const void* p, std::size_t n) noexcept(false);
+
+// ---- Group persistency (batch barriers) ------------------------------------
+//
+// A BatchScope lets K independent modifies share ONE trailing sfence: each op
+// still issues its own clwb's (so every dirty line is write-pending and the
+// crash simulator sees the same store/flush stream), but the drain is deferred
+// to the scope's end.  Deferred compounds are counted in
+// PersistStats::batch_persist, and the trailing barrier in
+// PersistStats::batch_fence -- never in `persist`/`fence` -- so Table-1
+// single-op persist counts remain comparable with the unbatched build.
+
+/// Flush [p, p+n) like persist(), but inside an active BatchScope the fence is
+/// deferred to the scope's trailing barrier (counted as batch_persist, not
+/// persist).  Outside any BatchScope this is exactly persist().
+void persist_batchable(const void* p, std::size_t n) noexcept(false);
+
+/// Drain all pending writebacks accumulated by persist_batchable() (and any
+/// other un-fenced clwb's) with one fence, counted as batch_fence.  No-op when
+/// nothing is pending.
+void batch_barrier() noexcept(false);
+
+/// Nesting depth of active BatchScopes on this thread (0 = eager persists).
+int batch_depth() noexcept;
+
+/// RAII group-persistency scope: while alive, persist_batchable() defers its
+/// fence; the destructor issues the trailing batch_barrier().  Nestable; only
+/// the outermost destructor fences.
+class BatchScope {
+ public:
+  BatchScope() noexcept;
+  // noexcept(false): the trailing barrier is a tracked NVM event, so an
+  // attached ShadowPool may fire a CrashPoint out of it (crash tests).
+  ~BatchScope() noexcept(false);
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+};
 
 /// Emulated-HTM transaction markers.  The software-fallback HTM sections call
 /// these so the crash simulator can model RTM's guarantee that speculative

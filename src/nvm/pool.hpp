@@ -89,7 +89,10 @@ struct PoolFragmentation {
 class PmemPool {
  public:
   static constexpr std::uint64_t kMagic = 0x524E545245453139ull;  // "RNTREE19"
-  static constexpr int kNumRoots = 8;
+  // 16 root slots so a ShardedTree can give each of up to 16 shards its own
+  // recovery root in one pool (slot i = shard i).  Header stays well inside
+  // the kChunk-aligned data_start, so the layout is unchanged.
+  static constexpr int kNumRoots = 16;
   static constexpr std::uint64_t kChunk = 1u << 20;  ///< high-water persist step
   /// Span a thread cache carves off the shared bump pointer per refill.
   /// Large enough that a leaf-heavy workload refills (and so locks) once

@@ -1,0 +1,19 @@
+// shard.* observability entry points (sharded_tree.cpp), split out of the
+// ShardedTree template header so non-template users — the DES simulator's
+// sharded panels — can tick the same counters without instantiating the tree.
+#pragma once
+
+#include <cstdint>
+
+namespace rnt::shard::detail {
+
+/// Throws std::invalid_argument unless @p shards is a power of two in
+/// [1, PmemPool::kNumRoots].
+void validate_shard_count(int shards);
+
+void count_shard_op(int shard) noexcept;          ///< shard.<i>.ops
+void count_cross_shard_scan() noexcept;           ///< shard.scan.cross
+void count_batch_flush(std::uint64_t staged) noexcept;  ///< shard.batch.*
+void set_shard_count_gauge(std::int64_t shards) noexcept;  ///< shard.count
+
+}  // namespace rnt::shard::detail

@@ -1,0 +1,67 @@
+#include "shard/shard_obs.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nvm/pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace rnt::shard::detail {
+
+namespace {
+
+// One ops counter per possible shard (pool root slot); names are static so
+// the registry's const char* contract holds.
+constexpr const char* kShardOpNames[nvm::PmemPool::kNumRoots] = {
+    "shard.0.ops",  "shard.1.ops",  "shard.2.ops",  "shard.3.ops",
+    "shard.4.ops",  "shard.5.ops",  "shard.6.ops",  "shard.7.ops",
+    "shard.8.ops",  "shard.9.ops",  "shard.10.ops", "shard.11.ops",
+    "shard.12.ops", "shard.13.ops", "shard.14.ops", "shard.15.ops",
+};
+
+struct ShardMetrics {
+  std::vector<obs::Counter> ops;
+  obs::Counter cross_scans{"shard.scan.cross"};
+  obs::Counter batch_flushes{"shard.batch.flushes"};
+  obs::Counter batch_staged{"shard.batch.staged"};
+  obs::Gauge shard_count{"shard.count"};
+  ShardMetrics() {
+    ops.reserve(nvm::PmemPool::kNumRoots);
+    for (const char* name : kShardOpNames) ops.emplace_back(name);
+  }
+};
+
+ShardMetrics& metrics() {
+  static ShardMetrics m;
+  return m;
+}
+
+}  // namespace
+
+void validate_shard_count(int shards) {
+  if (shards < 1 || shards > nvm::PmemPool::kNumRoots ||
+      (shards & (shards - 1)) != 0)
+    throw std::invalid_argument(
+        "sharded tree: shard count must be a power of two in [1, " +
+        std::to_string(nvm::PmemPool::kNumRoots) + "], got " +
+        std::to_string(shards));
+}
+
+void count_shard_op(int shard) noexcept {
+  metrics().ops[static_cast<std::size_t>(shard)].inc();
+}
+
+void count_cross_shard_scan() noexcept { metrics().cross_scans.inc(); }
+
+void count_batch_flush(std::uint64_t staged) noexcept {
+  ShardMetrics& m = metrics();
+  m.batch_flushes.inc();
+  m.batch_staged.inc(staged);
+}
+
+void set_shard_count_gauge(std::int64_t shards) noexcept {
+  metrics().shard_count.set(shards);
+}
+
+}  // namespace rnt::shard::detail

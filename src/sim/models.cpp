@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "obs/heatmap.hpp"
+#include "shard/shard_obs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +29,8 @@ struct SimMetrics {
   obs::Counter aborts_conflict{"htm.aborts_conflict"};
   obs::Counter fallbacks{"htm.fallbacks"};
   obs::Counter persists{"nvm.persist"};
+  obs::Counter batch_persists{"nvm.batch_persist"};
+  obs::Counter batch_fences{"nvm.batch_fence"};
 };
 
 SimMetrics& sim_metrics() {
@@ -62,7 +65,9 @@ struct Ctx {
   Scheduler& sched;
   ChannelPool channels;
   std::vector<LeafSim> leaves;
-  SimMutex htm_fallback;  ///< FPTree's global HTM fallback lock
+  /// FPTree's HTM fallback lock, one per shard (global when shards == 1):
+  /// a conflict storm on shard i serializes only shard i's traversals.
+  std::vector<SimMutex> fallbacks;
   std::uint32_t tid_base = 0;  ///< trace track base for this run's workers
   std::size_t inject_leaf = ~std::size_t{0};  ///< scripted-conflict target
   // aggregated results
@@ -77,7 +82,8 @@ struct Ctx {
         sched(s),
         channels(c.nvm_channels, c.costs.persist, c.costs.persist_occupancy),
         leaves(static_cast<std::size_t>(
-            std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))) {
+            std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))),
+        fallbacks(static_cast<std::size_t>(std::max(1, c.shards))) {
     if (c.inject.enabled)
       inject_leaf = static_cast<std::size_t>(mix64(c.inject.key ^ 0x9E37) %
                                              leaves.size());
@@ -131,6 +137,11 @@ Task worker(Ctx& ctx, int wid) {
   const SimTime interval =
       open_loop ? static_cast<SimTime>(1e9 / ctx.cfg.open_rate) : 0;
   SimTime next_arrival = 0;
+  const int n_shards = std::max(1, ctx.cfg.shards);
+  // Group persistency: each worker is one batching client; batch_pos counts
+  // modifies since its last trailing barrier.
+  const int batch = std::max(1, ctx.cfg.batch);
+  int batch_pos = 0;
 
   while (s.now() < ctx.cfg.horizon_ns) {
     // --- arrival discipline ---
@@ -146,6 +157,9 @@ Task worker(Ctx& ctx, int wid) {
     const KeyGen::Pick pick = keys.next();
     const std::size_t leaf_idx = pick.leaf;
     LeafSim& leaf = ctx.leaves[leaf_idx];
+    const std::size_t shard_idx = leaf_idx % static_cast<std::size_t>(n_shards);
+    SimMutex& fallback = ctx.fallbacks[shard_idx];
+    if (n_shards > 1) shard::detail::count_shard_op(static_cast<int>(shard_idx));
     SimMetrics& sm = sim_metrics();
     SimPhases ph;
     obs::heatmap_record_at(pick.key, obs::HeatCause::kOp);
@@ -193,22 +207,54 @@ Task worker(Ctx& ctx, int wid) {
           co_await Delay{s, d};
         }
         co_await Delay{s, c.leaf_search + c.slot_update};
+        // Group persistency (batch > 1): the slot flush defers its fence to
+        // the batch barrier — it pays channel occupancy only (the clwb), and
+        // every batch-th modify pays one full persist as the trailing
+        // barrier.  Eager mode (batch == 1) is the paper's 2-fence profile.
+        const bool barrier_now = batch > 1 && ++batch_pos >= batch;
+        if (barrier_now) batch_pos = 0;
         if (dual) {
           // Slot flush does not block readers; only the transient copy does.
-          const SimTime d = ctx.channels.persist_latency(s.now());
-          ph.add(obs::Phase::kPersist, d);
-          sm.persists.inc();
-          co_await Delay{s, d};
+          if (batch > 1) {
+            sm.batch_persists.inc();
+            ph.add(obs::Phase::kPersist, c.persist_occupancy);
+            co_await Delay{s, c.persist_occupancy};
+            if (barrier_now) {
+              const SimTime d = ctx.channels.persist_latency(s.now());
+              ph.add(obs::Phase::kPersist, d);
+              sm.batch_fences.inc();
+              co_await Delay{s, d};
+            }
+          } else {
+            const SimTime d = ctx.channels.persist_latency(s.now());
+            ph.add(obs::Phase::kPersist, d);
+            sm.persists.inc();
+            co_await Delay{s, d};
+          }
           leaf.pub_seq++;
           co_await Delay{s, c.slot_copy};
           leaf.pub_seq++;
         } else {
-          // Readers see the window of the whole slot flush.
+          // Readers see the window of the whole slot flush (and, under group
+          // persistency, of the barrier when this op closes the batch —
+          // single-slot durability windows widen to the batch boundary).
           leaf.pub_seq++;
-          const SimTime d = ctx.channels.persist_latency(s.now());
-          ph.add(obs::Phase::kPersist, d);
-          sm.persists.inc();
-          co_await Delay{s, d};
+          if (batch > 1) {
+            sm.batch_persists.inc();
+            ph.add(obs::Phase::kPersist, c.persist_occupancy);
+            co_await Delay{s, c.persist_occupancy};
+            if (barrier_now) {
+              const SimTime d = ctx.channels.persist_latency(s.now());
+              ph.add(obs::Phase::kPersist, d);
+              sm.batch_fences.inc();
+              co_await Delay{s, d};
+            }
+          } else {
+            const SimTime d = ctx.channels.persist_latency(s.now());
+            ph.add(obs::Phase::kPersist, d);
+            sm.persists.inc();
+            co_await Delay{s, d};
+          }
           leaf.pub_seq++;
         }
         if (rng.next_below(32) == 0) {  // amortised compaction
@@ -254,22 +300,22 @@ Task worker(Ctx& ctx, int wid) {
         // Subscription: an attempt while the fallback lock is held aborts
         // at once; the implementation then spins until release before the
         // next try (so storms serialize everyone but do not self-amplify).
-        while (ctx.htm_fallback.locked()) co_await Delay{s, c.backoff};
+        while (fallback.locked()) co_await Delay{s, c.backoff};
         co_await Delay{s, c.traverse};
-        if (!leaf.lock.locked() && !ctx.htm_fallback.locked() &&
+        if (!leaf.lock.locked() && !fallback.locked() &&
             rng.next_below(128) != 0)
           break;  // traversal committed
         sm.aborts_conflict.inc();
         obs::heatmap_record_at(pick.key, obs::HeatCause::kConflict);
         if (++attempts >= 3) {
           const SimTime tl = s.now();
-          co_await ctx.htm_fallback.acquire(s);
+          co_await fallback.acquire(s);
           lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
           sm.fallbacks.inc();
           obs::heatmap_record_at(pick.key, obs::HeatCause::kFallback);
           co_await Delay{s, c.traverse};
-          ctx.htm_fallback.release(s);
+          fallback.release(s);
           break;
         }
         co_await Delay{s, c.backoff};
@@ -305,10 +351,10 @@ Task worker(Ctx& ctx, int wid) {
       SimTime lock_wait = 0;
       for (int attempts = 0;;) {
         bool committed = false;
-        while (ctx.htm_fallback.locked()) co_await Delay{s, c.backoff};
+        while (fallback.locked()) co_await Delay{s, c.backoff};
         co_await Delay{s, c.traverse};
         const SimTime t0 = s.now();
-        if (!leaf.lock.locked() && !ctx.htm_fallback.locked() &&
+        if (!leaf.lock.locked() && !fallback.locked() &&
             rng.next_below(128) != 0) {
           co_await Delay{s, c.fp_scan};
           committed = !leaf.lock.locked() && leaf.last_commit <= t0;
@@ -319,7 +365,7 @@ Task worker(Ctx& ctx, int wid) {
         obs::heatmap_record_at(pick.key, obs::HeatCause::kConflict);
         if (++attempts >= 3) {
           const SimTime tl = s.now();
-          co_await ctx.htm_fallback.acquire(s);
+          co_await fallback.acquire(s);
           lock_wait += s.now() - tl;
           ctx.htm_fallbacks++;
           sm.fallbacks.inc();
@@ -329,7 +375,7 @@ Task worker(Ctx& ctx, int wid) {
           while (leaf.lock.locked()) co_await Delay{s, c.backoff};
           lock_wait += s.now() - tw;  // convoy: waiting out the leaf writer
           co_await Delay{s, c.fp_scan};
-          ctx.htm_fallback.release(s);
+          fallback.release(s);
           break;
         }
         co_await Delay{s, c.backoff};

@@ -66,6 +66,17 @@ struct SimConfig {
   /// Open-loop request rate per worker (ops/s); 0 = closed loop.
   double open_rate = 0.0;
   int nvm_channels = 6;  ///< one 6-way interleave set (paper's testbed)
+  /// ShardedTree modeling (fig8 --shards): leaves are partitioned over this
+  /// many independent shards.  FPTree's fallback lock becomes per-shard (the
+  /// whole point: abort storms stay local); per-shard shard.<i>.ops counters
+  /// tick when shards > 1.
+  int shards = 1;
+  /// Group persistency (fig8 --batch): every worker batches K modifies per
+  /// trailing barrier.  The RNTree models' slot flush then pays channel
+  /// occupancy only (counted nvm.batch_persist) and every K-th modify pays
+  /// one full persist as the barrier (counted nvm.batch_fence) — fences/op
+  /// drop from 2 to 1 + 1/K.  1 = eager (paper's Table-1 profile).
+  int batch = 1;
   /// Ablation knob (bench_ablation_overlap): perform the KV flush INSIDE the
   /// leaf critical section (the decoupled design of S3.4) instead of the
   /// paper's overlapped placement.  Applies to the RNTree models only.

@@ -30,6 +30,8 @@ struct MixSpec {
   static constexpr MixSpec read_intensive() noexcept { return {90, 0, 10, 0, 0}; }
   /// YCSB-C: read only.
   static constexpr MixSpec ycsb_c() noexcept { return {100, 0, 0, 0, 0}; }
+  /// YCSB-E: 95% short range scan, 5% insert (scan-heavy service mix).
+  static constexpr MixSpec ycsb_e() noexcept { return {0, 5, 0, 0, 95}; }
   /// The paper's single-thread mixed benchmark: 25% each of
   /// find/insert/update/remove.
   static constexpr MixSpec mixed_25() noexcept { return {25, 25, 25, 25, 0}; }

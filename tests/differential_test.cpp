@@ -36,6 +36,7 @@
 #include "htm/abort_inject.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
+#include "shard/sharded_tree.hpp"
 
 namespace rnt {
 namespace {
@@ -420,6 +421,22 @@ struct PlainAdapter {
   }
 };
 
+// Sharding facade over four hash-partitioned RNTrees: the oracle checks the
+// cross-shard k-way merge (kScan) and multi-root recovery on top of the
+// member trees' own semantics.
+struct ShardedAdapter {
+  using SH = shard::ShardedTree<std::uint64_t, std::uint64_t>;
+  static SH::Options opts() {
+    return {.shards = 4, .partition = shard::Partition::kHash};
+  }
+  static std::unique_ptr<SH> make(nvm::PmemPool& p) {
+    return std::make_unique<SH>(p, opts());
+  }
+  static std::unique_ptr<SH> recover(nvm::PmemPool& p) {
+    return std::make_unique<SH>(SH::recover_t{}, p, opts());
+  }
+};
+
 struct NvCondAdapter {
   static std::unique_ptr<NV> make(nvm::PmemPool& p) {
     return std::make_unique<NV>(p, NV::Options{.conditional_write = true});
@@ -455,6 +472,9 @@ TEST_F(DifferentialTest, WbTreeSlotOnly) {
   run_differential<PlainAdapter<WBSO>>("wbtree-so");
 }
 TEST_F(DifferentialTest, FpTree) { run_differential<PlainAdapter<FP>>("fptree"); }
+TEST_F(DifferentialTest, ShardedHash4) {
+  run_differential<ShardedAdapter>("sharded-hash4");
+}
 
 // Fault-injected mode: random HTM aborts + a pool pre-filled to exhaustion.
 TEST_F(DifferentialTest, FaultRnTreeSingleSlot) {
@@ -474,6 +494,9 @@ TEST_F(DifferentialTest, FaultWbTreeSlotOnly) {
 }
 TEST_F(DifferentialTest, FaultFpTree) {
   run_fault_differential<PlainAdapter<FP>>("fptree");
+}
+TEST_F(DifferentialTest, FaultShardedHash4) {
+  run_fault_differential<ShardedAdapter>("sharded-hash4");
 }
 
 }  // namespace

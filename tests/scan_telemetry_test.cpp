@@ -1,0 +1,117 @@
+// Scan telemetry regression tests: RNTree::scan must record exactly one
+// op.scan event per call (finished AFTER the leaf walk with the real
+// success flag — the original instrumentation finished before walking and
+// always reported success with zero latency), must land a nonzero latency
+// sample in lat.op.scan, and must attribute heatmap kOp events to every
+// leaf range the scan visits, not just its start bucket.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/rntree.hpp"
+#include "nvm/pool.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+
+namespace rnt {
+namespace {
+
+using Tree = core::RNTree<std::uint64_t, std::uint64_t>;
+
+obs::HistogramSummary hist_of(const obs::Snapshot& snap, std::string_view name) {
+  for (const auto& [n, h] : snap.histograms)
+    if (n == name) return h;
+  return {};
+}
+
+class ScanTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = nvm::config();
+    nvm::config().write_latency_ns = 0;
+    nvm::config().per_line_ns = 0;
+    obs::set_phase_timing(true);
+    if (!obs::phase_timing_enabled())
+      GTEST_SKIP() << "phase timing compiled out";
+  }
+  void TearDown() override {
+    obs::set_phase_timing(false);
+    nvm::config() = saved_;
+  }
+  nvm::NvmConfig saved_;
+};
+
+TEST_F(ScanTelemetryTest, OneOpScanEventPerScan) {
+  nvm::PmemPool pool(std::size_t{16} << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 3000; ++i)
+    ASSERT_TRUE(tree.insert(i * 3, i));
+
+  const obs::Snapshot before = obs::snapshot();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  constexpr std::uint64_t kScans = 5;
+  for (std::uint64_t i = 0; i < kScans; ++i)
+    ASSERT_EQ(tree.scan_n(i * 600, 200, out), 200u);
+  const obs::Snapshot after = obs::snapshot();
+
+  EXPECT_EQ(after.counter("op.scan") - before.counter("op.scan"), kScans);
+  const obs::HistogramSummary h0 = hist_of(before, "lat.op.scan");
+  const obs::HistogramSummary h1 = hist_of(after, "lat.op.scan");
+  EXPECT_EQ(h1.count - h0.count, kScans);
+  // A 200-key walk takes real time; the latency samples cannot all be zero.
+  EXPECT_GT(h1.sum, h0.sum);
+}
+
+TEST_F(ScanTelemetryTest, EmptyScanStillCountsAsMiss) {
+  nvm::PmemPool pool(std::size_t{16} << 20);
+  Tree tree(pool);
+  for (std::uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree.insert(i, i));
+
+  const obs::Snapshot before = obs::snapshot();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  EXPECT_EQ(tree.scan_n(1'000'000, 10, out), 0u);  // beyond every key
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_EQ(after.counter("op.scan") - before.counter("op.scan"), 1u);
+}
+
+#if !defined(RNTREE_NO_HEATMAP)
+
+// A full-range scan must heat the buckets of every leaf it visits — one kOp
+// record per visited leaf beyond the first — so heatmaps show the range a
+// scan-heavy workload actually touches.
+TEST_F(ScanTelemetryTest, ScanHeatsTheVisitedRange) {
+  constexpr std::uint64_t kSpace = 8192;
+  ASSERT_TRUE(obs::heatmap_configure({.buckets = 64,
+                                      .by_leaf = false,
+                                      .key_space = kSpace,
+                                      .decay_half_life_s = 0.0}));
+  obs::set_heatmap_enabled(true);
+
+  nvm::PmemPool pool(std::size_t{16} << 20);
+  Tree tree(pool);
+  for (std::uint64_t k = 0; k < kSpace; ++k) ASSERT_TRUE(tree.insert(k, k));
+
+  obs::heatmap_reset();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  ASSERT_EQ(tree.scan_n(0, kSpace, out), kSpace);
+
+  const obs::HeatmapSnapshot snap = obs::heatmap_snapshot();
+  constexpr int kOpIdx = static_cast<int>(obs::HeatCause::kOp);
+  int heated = 0;
+  for (const obs::HeatBucket& b : snap.buckets)
+    if (b.counts[kOpIdx] > 0) ++heated;
+  // 8192 dense keys span > 100 leaves; with 64 buckets over the key space
+  // the visited range heats most of the table, not just bucket 0.
+  EXPECT_GE(heated, 32) << "scan heat stuck at its start bucket";
+
+  obs::set_heatmap_enabled(false);
+  obs::heatmap_reset();
+}
+
+#endif  // !RNTREE_NO_HEATMAP
+
+}  // namespace
+}  // namespace rnt

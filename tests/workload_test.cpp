@@ -131,7 +131,28 @@ TEST(MixSpec, PresetsSumTo100) {
   EXPECT_EQ(MixSpec::ycsb_a().total(), 100);
   EXPECT_EQ(MixSpec::read_intensive().total(), 100);
   EXPECT_EQ(MixSpec::ycsb_c().total(), 100);
+  EXPECT_EQ(MixSpec::ycsb_e().total(), 100);
   EXPECT_EQ(MixSpec::mixed_25().total(), 100);
+}
+
+TEST(OpStream, YcsbEIsScanHeavy) {
+  OpStream s(MixSpec::ycsb_e(), KeyDist::kUniform, 1000, 0.0, 19);
+  int scans = 0, inserts = 0, others = 0;
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) {
+    const Op op = s.next();
+    if (op.type == OpType::kScan) {
+      ++scans;
+      EXPECT_GT(op.scan_n, 0u);
+    } else if (op.type == OpType::kInsert) {
+      ++inserts;
+    } else {
+      ++others;
+    }
+  }
+  EXPECT_EQ(others, 0);
+  EXPECT_NEAR(scans, kOps * 95 / 100, kOps / 40);
+  EXPECT_NEAR(inserts, kOps * 5 / 100, kOps / 40);
 }
 
 TEST(OpStream, RespectsMixProportions) {

@@ -3,8 +3,8 @@
 
 Usage:
     bench_smoke.py [--schema=stats|gate] [--telemetry] [--introspect]
-                   [--require-structure] [--expect-usage-error]
-                   <binary> [bench flags...]
+                   [--require-structure] [--group-persistency]
+                   [--expect-usage-error] <binary> [bench flags...]
 
 Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
 --schema=gate) pointing at a temp file, runs the binary, and checks that it
@@ -15,8 +15,9 @@ exits 0 and that the export matches the documented schema:
          "histograms": {str: {count,sum,min,max,mean,p50,p90,p99,p999}}}
          with meta.bench present.
   gate   bench_micro perf-gate export: meta-only document with
-         schema == "rnt-gate-v1", numeric *_mops rates and integer
-         *_persists_mode counts (the contract tools/perf_gate.py relies on).
+         schema == "rnt-gate-v2", numeric *_mops rates and integer
+         *_persists_mode / *_fences_mode counts (the contract
+         tools/perf_gate.py relies on).
 
 With --telemetry (stats schema only) the bench additionally runs with
 --sample-ms=50 and --perfetto=FILE: the stats document must then carry a
@@ -31,6 +32,11 @@ scripted conflict injection), the bucket with the most conflict aborts must
 be exactly that bucket — the end-to-end check that attribution lands where
 the contention actually is.  --require-structure additionally demands a
 schema-valid "structure" section (benches that audit a tree, e.g. fig4).
+
+With --group-persistency (stats schema only) meta must carry numeric
+gp_fences_per_op_eager / gp_fences_per_op_batched, and the batched figure
+must be strictly below eager whenever meta.batch > 1 — the machine-checkable
+form of fig8's fence-amortization claim.
 
 With --expect-usage-error the binary must exit 2 and print a usage message;
 no JSON flag is appended.  Covers flag-validation hygiene (--sample-ms=0,
@@ -53,6 +59,8 @@ GATE_PERSISTS = [
     "insert_persists_mode",
     "update_persists_mode",
     "remove_persists_mode",
+    "update_fences_mode",
+    "batch8_fences_mode",
 ]
 HIST_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999"]
 WINDOW_FIELDS = [
@@ -212,12 +220,34 @@ def validate_structure(doc):
                 expect(isinstance(ch.get(k), int), f"chunks[{i}].{k} not an int")
 
 
+def validate_group_persistency(doc):
+    """fig8's real-ShardedTree segment: batching K modifies under one
+    durability barrier must strictly reduce fences per op vs eager."""
+    meta = doc["meta"]
+    eager = meta.get("gp_fences_per_op_eager")
+    batched = meta.get("gp_fences_per_op_batched")
+    expect(is_num(eager) and eager > 0,
+           "meta.gp_fences_per_op_eager not a positive number")
+    expect(is_num(batched) and batched > 0,
+           "meta.gp_fences_per_op_batched not a positive number")
+    batch = meta.get("batch", 1)
+    if isinstance(batch, str):
+        batch = int(batch)
+    if batch > 1:
+        expect(batched < eager,
+               f"batched fences/op ({batched}) not below eager ({eager}) "
+               f"despite batch={batch}")
+    else:
+        expect(batched <= eager * 1.05,
+               f"batched fences/op ({batched}) above eager ({eager}) at batch=1")
+
+
 def validate_gate(doc):
     expect(isinstance(doc, dict), "document is not a JSON object")
     meta = doc.get("meta")
     expect(isinstance(meta, dict), "missing object 'meta'")
-    expect(meta.get("schema") == "rnt-gate-v1",
-           f"meta.schema is {meta.get('schema')!r}, want 'rnt-gate-v1'")
+    expect(meta.get("schema") == "rnt-gate-v2",
+           f"meta.schema is {meta.get('schema')!r}, want 'rnt-gate-v2'")
     for k in GATE_RATES:
         expect(is_num(meta.get(k)) and meta[k] > 0, f"meta.{k} not a positive number")
     for k in GATE_PERSISTS:
@@ -230,6 +260,7 @@ def main():
     telemetry = False
     introspect = False
     require_structure = False
+    group_persistency = False
     expect_usage_error = False
     while args and args[0].startswith("--"):
         if args[0].startswith("--schema="):
@@ -243,13 +274,17 @@ def main():
         elif args[0] == "--require-structure":
             require_structure = True
             args.pop(0)
+        elif args[0] == "--group-persistency":
+            group_persistency = True
+            args.pop(0)
         elif args[0] == "--expect-usage-error":
             expect_usage_error = True
             args.pop(0)
         else:
             break
     if schema not in ("stats", "gate") or not args or (
-            (telemetry or introspect or require_structure) and schema != "stats"):
+            (telemetry or introspect or require_structure or group_persistency)
+            and schema != "stats"):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -299,11 +334,15 @@ def main():
             validate_heatmap(doc)
         if require_structure:
             validate_structure(doc)
+        if group_persistency:
+            validate_group_persistency(doc)
         mode = ", telemetry" if telemetry else ""
         if introspect:
             mode += ", introspect"
         if require_structure:
             mode += ", structure"
+        if group_persistency:
+            mode += ", group-persistency"
         print(f"bench_smoke: OK ({os.path.basename(binary)}, "
               f"schema={schema}{mode})")
         return 0

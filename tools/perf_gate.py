@@ -33,6 +33,8 @@ PERSISTS = [
     "insert_persists_mode",
     "update_persists_mode",
     "remove_persists_mode",
+    "update_fences_mode",
+    "batch8_fences_mode",
 ]
 
 

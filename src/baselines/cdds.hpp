@@ -23,6 +23,7 @@
 #include "common/cacheline.hpp"
 #include "common/status.hpp"
 #include "htm/version_lock.hpp"
+#include "obs/op_trace.hpp"
 
 namespace rnt::baselines {
 
@@ -106,57 +107,60 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
   }
 
   common::Status insert(Key k, Value v) {
-    epoch::Guard g = this->epochs_.pin();
-    Leaf* leaf = locate(k);
-    if (leaf->find_live(k) >= 0) return common::StatusCode::kKeyExists;
-    leaf = ensure_space(leaf, k);
-    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
-    insert_version(leaf, k, v);
-    this->size_.fetch_add(1, std::memory_order_relaxed);
-    return common::OkStatus();
+    obs::OpTrace tr(obs::OpKind::kInsert, k);
+    const common::Status s = insert_impl(k, v);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
 
   common::Status update(Key k, Value v) {
-    epoch::Guard g = this->epochs_.pin();
-    Leaf* leaf = locate(k);
-    int idx = leaf->find_live(k);
-    if (idx < 0) return common::StatusCode::kKeyAbsent;
-    // Multi-version update: secure space for the new version BEFORE retiring
-    // the old one, so an exhausted pool leaves the live entry intact.
-    leaf = ensure_space(leaf, k);
-    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
-    idx = leaf->find_live(k);  // positions move under compaction/split
-    end_version(leaf, idx);
-    insert_version(leaf, k, v);
-    return common::OkStatus();
+    obs::OpTrace tr(obs::OpKind::kUpdate, k);
+    const common::Status s = update_impl(k, v);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
 
   common::Status upsert(Key k, Value v) {
-    const common::Status u = update(k, v);
-    if (u || u.pool_exhausted()) return u;
-    return insert(k, v);
+    // One OpTrace for the whole upsert: the update/insert impls are called
+    // directly so the composite records a single op.upsert, not two ops.
+    obs::OpTrace tr(obs::OpKind::kUpsert, k);
+    const common::Status u = update_impl(k, v);
+    if (u || u.pool_exhausted()) {
+      tr.finish(static_cast<bool>(u));
+      return u;
+    }
+    const common::Status s = insert_impl(k, v);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
 
   bool remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     const int idx = leaf->find_live(k);
-    if (idx < 0) return false;
+    if (idx < 0) return tr.finish(false);
     end_version(leaf, idx);
     this->size_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return tr.finish(true);
   }
 
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     const int idx = leaf->find_live(k);
-    if (idx < 0) return std::nullopt;
+    if (idx < 0) {
+      tr.finish(false);
+      return std::nullopt;
+    }
+    tr.finish(true);
     return leaf->entries[idx].value;
   }
 
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
     epoch::Guard g = this->epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = locate(start);
@@ -168,11 +172,15 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
         if (e.end_version != Leaf::kInfinity) continue;
         if (first && e.key < start) continue;
         ++visited;
-        if (!fn(e.key, e.value)) return visited;
+        if (!fn(e.key, e.value)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       first = false;
       leaf = next_leaf(leaf);
     }
+    tr.finish(visited > 0);
     return visited;
   }
 
@@ -188,6 +196,32 @@ class CDDSTree : public TreeShell<Key, CddsLeaf<Key, Value>> {
   }
 
  private:
+  common::Status insert_impl(Key k, Value v) {
+    epoch::Guard g = this->epochs_.pin();
+    Leaf* leaf = locate(k);
+    if (leaf->find_live(k) >= 0) return common::StatusCode::kKeyExists;
+    leaf = ensure_space(leaf, k);
+    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
+    insert_version(leaf, k, v);
+    this->size_.fetch_add(1, std::memory_order_relaxed);
+    return common::OkStatus();
+  }
+
+  common::Status update_impl(Key k, Value v) {
+    epoch::Guard g = this->epochs_.pin();
+    Leaf* leaf = locate(k);
+    int idx = leaf->find_live(k);
+    if (idx < 0) return common::StatusCode::kKeyAbsent;
+    // Multi-version update: secure space for the new version BEFORE retiring
+    // the old one, so an exhausted pool leaves the live entry intact.
+    leaf = ensure_space(leaf, k);
+    if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
+    idx = leaf->find_live(k);  // positions move under compaction/split
+    end_version(leaf, idx);
+    insert_version(leaf, k, v);
+    return common::OkStatus();
+  }
+
   std::uint64_t next_version() noexcept {
     return version_.fetch_add(1, std::memory_order_relaxed) + 1;
   }

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "htm/version_lock.hpp"
+#include "obs/op_trace.hpp"
 
 namespace rnt::baselines {
 
@@ -104,11 +105,27 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
     });
   }
 
-  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kInsert, k);
+    const common::Status s = modify(k, v, Mode::kInsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status update(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpdate, k);
+    const common::Status s = modify(k, v, Mode::kUpdate);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status upsert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpsert, k);
+    const common::Status s = modify(k, v, Mode::kUpsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
 
   bool remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     for (;;) {
       epoch::Guard g = this->epochs_.pin();
       Leaf* leaf = locate(k);
@@ -121,14 +138,14 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       const int slot = leaf->find_slot(k, bm);
       if (slot < 0) {
         leaf->vlock.unlock();
-        return false;
+        return tr.finish(false);
       }
       // One persistent instruction: reset the bitmap bit.
       nvm::store_release(leaf->bitmap, std::uint64_t{bm & ~(1ull << slot)});
       nvm::persist(&leaf->bitmap, sizeof(std::uint64_t));
       this->size_.fetch_sub(1, std::memory_order_relaxed);
       leaf->vlock.unlock_and_bump();
-      return true;
+      return tr.finish(true);
     }
   }
 
@@ -137,6 +154,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
   /// documented behaviour, and the cause of its read latency under
   /// contention (Fig 9).
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     for (;;) {
       epoch::Guard g = this->epochs_.pin();
       Leaf* leaf = this->inner_.find_leaf(k);
@@ -155,6 +173,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
         this->stats_.count_find_retry();
         continue;  // a writer intervened: retry from the root
       }
+      tr.finish(res.has_value());
       return res;
     }
   }
@@ -163,6 +182,7 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
   /// (Fig 6's cost).
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
     epoch::Guard g = this->epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = locate(start);
@@ -187,11 +207,15 @@ class FPTree : public TreeShell<Key, FpLeaf<Key, Value>> {
       for (const Entry& e : batch) {
         if (first && e.key < start) continue;
         ++visited;
-        if (!fn(e.key, e.value)) return visited;
+        if (!fn(e.key, e.value)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       first = false;
       leaf = nxt;
     }
+    tr.finish(visited > 0);
     return visited;
   }
 

@@ -23,6 +23,7 @@
 #include "common/cacheline.hpp"
 #include "common/status.hpp"
 #include "htm/version_lock.hpp"
+#include "obs/op_trace.hpp"
 
 namespace rnt::baselines {
 
@@ -126,49 +127,76 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
   }
 
   common::Status insert(Key k, Value v) {
-    return modify(k, v, Leaf::kInsertLog, false);
+    obs::OpTrace tr(obs::OpKind::kInsert, k);
+    const common::Status s = modify(k, v, Leaf::kInsertLog, false);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
   common::Status update(Key k, Value v) {
-    return modify(k, v, Leaf::kInsertLog, true);
+    obs::OpTrace tr(obs::OpKind::kUpdate, k);
+    const common::Status s = modify(k, v, Leaf::kInsertLog, true);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
   common::Status upsert(Key k, Value v) {
-    // Without conditional mode insert==update==append; with it, try both.
+    // One OpTrace for the whole upsert: calls modify directly (not the
+    // instrumented insert/update wrappers) so a single op.upsert is
+    // recorded.  Without conditional mode insert==update==append; with it,
+    // try both.
+    obs::OpTrace tr(obs::OpKind::kUpsert, k);
     if (opt_.conditional_write) {
-      const common::Status u = update(k, v);
-      if (u || u.pool_exhausted()) return u;
+      const common::Status u = modify(k, v, Leaf::kInsertLog, true);
+      if (u || u.pool_exhausted()) {
+        tr.finish(static_cast<bool>(u));
+        return u;
+      }
     }
-    return insert(k, v);
+    const common::Status s = modify(k, v, Leaf::kInsertLog, false);
+    tr.finish(static_cast<bool>(s));
+    return s;
   }
 
   /// Remove appends a log entry, so (unlike the in-place trees) it consumes
   /// space and can report kPoolExhausted on a full leaf in a full pool.
   common::Status remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint64_t n = leaf->n_element.load(std::memory_order_relaxed);
     if (opt_.conditional_write) {
       const Entry* cur = leaf->newest(k, n);
-      if (cur == nullptr || cur->flag == Leaf::kRemoveLog)
+      if (cur == nullptr || cur->flag == Leaf::kRemoveLog) {
+        tr.finish(false);
         return common::StatusCode::kKeyAbsent;
+      }
     }
     if (n >= Leaf::kLogCap) {
       leaf = split(leaf, k);
-      if (leaf == nullptr) return common::StatusCode::kPoolExhausted;
+      if (leaf == nullptr) {
+        tr.finish(false);
+        return common::StatusCode::kPoolExhausted;
+      }
       n = leaf->n_element.load(std::memory_order_relaxed);
     }
     // Basic (non-conditional) NVTree appends the remove log blindly; the
     // size counter is then approximate, matching the original's semantics.
     append(leaf, n, Entry{Leaf::kRemoveLog, k, Value{}, 0});
     this->size_.fetch_sub(1, std::memory_order_relaxed);
+    tr.finish(true);
     return common::OkStatus();
   }
 
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     const std::uint64_t n = leaf->n_element.load(std::memory_order_acquire);
     const Entry* e = leaf->newest(k, n);
-    if (e == nullptr || e->flag == Leaf::kRemoveLog) return std::nullopt;
+    if (e == nullptr || e->flag == Leaf::kRemoveLog) {
+      tr.finish(false);
+      return std::nullopt;
+    }
+    tr.finish(true);
     return e->value;
   }
 
@@ -176,6 +204,7 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
   /// the cost the paper's Fig 6 quantifies.
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
     epoch::Guard g = this->epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = locate(start);
@@ -188,11 +217,15 @@ class NVTree : public TreeShell<Key, NvLeaf<Key, Value>> {
       for (auto& [k, v] : batch) {
         if (first && k < start) continue;
         ++visited;
-        if (!fn(k, v)) return visited;
+        if (!fn(k, v)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       first = false;
       leaf = next_leaf(leaf);
     }
+    tr.finish(visited > 0);
     return visited;
   }
 

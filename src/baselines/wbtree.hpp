@@ -22,6 +22,7 @@
 #include "common/status.hpp"
 #include "core/slot_util.hpp"
 #include "htm/version_lock.hpp"
+#include "obs/op_trace.hpp"
 
 namespace rnt::baselines {
 
@@ -107,15 +108,32 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     });
   }
 
-  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kInsert, k);
+    const common::Status s = modify(k, v, Mode::kInsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status update(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpdate, k);
+    const common::Status s = modify(k, v, Mode::kUpdate);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status upsert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpsert, k);
+    const common::Status s = modify(k, v, Mode::kUpsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
 
   bool remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     const int pos = core::slot_lower_bound(leaf->pslot, leaf->logs, k);
-    if (!core::slot_match(leaf->pslot, leaf->logs, pos, k)) return false;
+    if (!core::slot_match(leaf->pslot, leaf->logs, pos, k))
+      return tr.finish(false);
     // Three persistent instructions: valid:=0, slot array, valid:=1.
     set_valid(leaf, 0);
     core::slot_remove_at(leaf->pslot, pos);
@@ -123,20 +141,26 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
     nvm::persist(leaf->pslot, kCacheLineSize);
     set_valid(leaf, 1);
     this->size_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return tr.finish(true);
   }
 
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     prefetch_range(leaf, sizeof(Leaf));  // overlap fetch with binary probes
     const int pos = core::slot_lower_bound(leaf->pslot, leaf->logs, k);
-    if (!core::slot_match(leaf->pslot, leaf->logs, pos, k)) return std::nullopt;
+    if (!core::slot_match(leaf->pslot, leaf->logs, pos, k)) {
+      tr.finish(false);
+      return std::nullopt;
+    }
+    tr.finish(true);
     return leaf->logs[leaf->pslot[1 + pos]].value;
   }
 
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
     epoch::Guard g = this->epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = locate(start);
@@ -148,11 +172,15 @@ class WBTree : public TreeShell<Key, WbLeaf<Key, Value>> {
       for (int i = from; i < count; ++i) {
         const Entry& e = leaf->logs[leaf->pslot[1 + i]];
         ++visited;
-        if (!fn(e.key, e.value)) return visited;
+        if (!fn(e.key, e.value)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       first = false;
       leaf = next_leaf(leaf);
     }
+    tr.finish(visited > 0);
     return visited;
   }
 
@@ -391,35 +419,57 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
     });
   }
 
-  common::Status insert(Key k, Value v) { return modify(k, v, Mode::kInsert); }
-  common::Status update(Key k, Value v) { return modify(k, v, Mode::kUpdate); }
-  common::Status upsert(Key k, Value v) { return modify(k, v, Mode::kUpsert); }
+  common::Status insert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kInsert, k);
+    const common::Status s = modify(k, v, Mode::kInsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status update(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpdate, k);
+    const common::Status s = modify(k, v, Mode::kUpdate);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
+  common::Status upsert(Key k, Value v) {
+    obs::OpTrace tr(obs::OpKind::kUpsert, k);
+    const common::Status s = modify(k, v, Mode::kUpsert);
+    tr.finish(static_cast<bool>(s));
+    return s;
+  }
 
   bool remove(Key k) {
+    obs::OpTrace tr(obs::OpKind::kRemove, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint8_t slot[8];
     Leaf::unpack(leaf->slot_word.load(std::memory_order_relaxed), slot);
     const int pos = core::slot_lower_bound(slot, leaf->logs, k);
-    if (!core::slot_match(slot, leaf->logs, pos, k)) return false;
+    if (!core::slot_match(slot, leaf->logs, pos, k)) return tr.finish(false);
     core::slot_remove_at(slot, pos);
     publish_slot(leaf, slot);  // single persistent instruction
     this->size_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return tr.finish(true);
   }
 
   std::optional<Value> find(Key k) const {
+    obs::OpTrace tr(obs::OpKind::kFind, k);
     epoch::Guard g = this->epochs_.pin();
     Leaf* leaf = locate(k);
     std::uint8_t slot[8];
     Leaf::unpack(leaf->slot_word.load(std::memory_order_acquire), slot);
     const int pos = core::slot_lower_bound(slot, leaf->logs, k);
-    if (!core::slot_match(slot, leaf->logs, pos, k)) return std::nullopt;
+    if (!core::slot_match(slot, leaf->logs, pos, k)) {
+      tr.finish(false);
+      return std::nullopt;
+    }
+    tr.finish(true);
     return leaf->logs[slot[1 + pos]].value;
   }
 
   template <typename Fn>
   std::size_t scan(Key start, Fn&& fn) const {
+    obs::OpTrace tr(obs::OpKind::kScan, start);
     epoch::Guard g = this->epochs_.pin();
     std::size_t visited = 0;
     Leaf* leaf = locate(start);
@@ -432,11 +482,15 @@ class WBTreeSO : public TreeShell<Key, WbSoLeaf<Key, Value>> {
       for (int i = from; i < count; ++i) {
         const Entry& e = leaf->logs[slot[1 + i]];
         ++visited;
-        if (!fn(e.key, e.value)) return visited;
+        if (!fn(e.key, e.value)) {
+          tr.finish(visited > 0);
+          return visited;
+        }
       }
       first = false;
       leaf = next_leaf(leaf);
     }
+    tr.finish(visited > 0);
     return visited;
   }
 

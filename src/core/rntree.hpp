@@ -121,11 +121,17 @@ class RNTree {
     bool dual_slot = true;
     /// Pool root slot holding the leftmost-leaf offset.
     int root_slot = 0;
+    /// COW SMO installs (src/inner): splits publish an out-of-place parent
+    /// copy via a short HTM-validated pointer swap.  Off = every SMO runs
+    /// the serialized whole-path rebuild (the pre-COW baseline, kept for
+    /// the before/after capacity-abort measurement and the linearizability
+    /// test's pre-COW leg).
+    bool cow_smo = true;
   };
 
   /// Create a fresh tree in @p pool.
   RNTree(nvm::PmemPool& pool, Options opt = {})
-      : pool_(pool), opt_(opt), inner_(epochs_) {
+      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
     // Dirty-flag protocol: the clean flag must be cleared (and durable)
     // strictly before the first pool mutation, so a crash mid-construction
     // is always routed down the crash-recovery path.
@@ -144,7 +150,7 @@ class RNTree {
   /// full crash recovery (undo processing + counter rebuild) otherwise.
   struct recover_t {};
   RNTree(recover_t, nvm::PmemPool& pool, Options opt = {})
-      : pool_(pool), opt_(opt), inner_(epochs_) {
+      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
     // Capture the shutdown state, then clear the clean flag *before* any
     // recovery-time NVM mutation (undo rollback) — see fresh ctor.
     const bool crashed = !pool_.clean_shutdown();
@@ -158,7 +164,7 @@ class RNTree {
   /// member's mark_dirty() would force every later member down the crash
   /// path.  The caller owns the dirty/clean flag protocol.
   RNTree(recover_t, nvm::PmemPool& pool, bool crashed, Options opt)
-      : pool_(pool), opt_(opt), inner_(epochs_) {
+      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
     recover(crashed);
   }
 

@@ -53,7 +53,33 @@ class AbortInjector {
 
 namespace detail {
 extern std::atomic<AbortInjector*> g_abort_injector;
+// Declared write-set footprint (cache lines) of the transaction the current
+// thread is about to attempt.  Real capacity aborts are a function of write
+// set vs L1; the injected machine cannot see write sets, so transaction
+// call sites declare theirs (TxFootprint below) and RandomAbortInjector
+// scales its capacity weight by it.  1 = the default single-line profile,
+// which leaves every pre-existing call site's draw distribution unchanged.
+inline thread_local unsigned t_tx_footprint = 1;
 }  // namespace detail
+
+/// Cache lines the next transaction on this thread declares it will write.
+inline unsigned tx_footprint_lines() noexcept { return detail::t_tx_footprint; }
+
+/// RAII footprint declaration: scoped around an atomic_exec call so the
+/// injector's capacity-abort probability tracks the transaction's size.
+class TxFootprint {
+ public:
+  explicit TxFootprint(unsigned lines) noexcept
+      : prev_(detail::t_tx_footprint) {
+    detail::t_tx_footprint = lines == 0 ? 1 : lines;
+  }
+  ~TxFootprint() { detail::t_tx_footprint = prev_; }
+  TxFootprint(const TxFootprint&) = delete;
+  TxFootprint& operator=(const TxFootprint&) = delete;
+
+ private:
+  unsigned prev_;
+};
 
 /// Currently installed injector (nullptr when none).  Relaxed load — this is
 /// the only cost injection adds to the uninstrumented hot path.
@@ -123,11 +149,19 @@ class RandomAbortInjector final : public AbortInjector {
   std::optional<AbortCause> on_attempt(int /*attempt*/) override {
     const std::uint64_t r = next();
     if (r % 1000 >= permille_) return std::nullopt;
-    std::uint64_t pick = (r >> 10) % total_weight_;
+    // Capacity weight scales with the caller's declared write-set footprint:
+    // a whole-path SMO transaction (~dozens of lines) draws capacity almost
+    // every abort, a one-line install almost never — mirroring how real
+    // capacity aborts track transaction size.  Footprint 1 (every legacy
+    // call site) reproduces the historical draw distribution exactly.
+    const std::uint64_t cap_w =
+        static_cast<std::uint64_t>(weights_.capacity) * tx_footprint_lines();
+    const std::uint64_t total = total_weight_ - weights_.capacity + cap_w;
+    std::uint64_t pick = (r >> 10) % total;
     if (pick < weights_.conflict) return AbortCause::kConflict;
     pick -= weights_.conflict;
-    if (pick < weights_.capacity) return AbortCause::kCapacity;
-    pick -= weights_.capacity;
+    if (pick < cap_w) return AbortCause::kCapacity;
+    pick -= cap_w;
     if (pick < weights_.spurious) return AbortCause::kSpurious;
     return AbortCause::kLockSubscription;
   }

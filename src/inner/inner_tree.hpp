@@ -3,31 +3,58 @@
 // Following the paper (and FPTree/NVTree), all internal nodes live in DRAM
 // and are rebuilt from the persistent leaf chain on recovery; only leaf nodes
 // are NVM-resident.  The paper wraps traversal and internal-node updates in
-// HTM so that readers never block.  This implementation provides the same
-// semantics portably with copy-on-write path updates:
+// HTM so that readers never block; mutating the inner nodes inside those
+// transactions is what inflates SMO write sets and triggers capacity-abort
+// storms at scale.  This implementation goes one step further and makes
+// every structure modification RCU-HTM style copy-on-write:
 //
 //   * find_leaf() descends an immutable snapshot reached from an atomic root
 //     pointer — wait-free, no validation, never blocks (the HTM-traversal
 //     equivalent).  Callers must hold an epoch::Guard for the duration.
-//   * insert_split() (the paper's htmTreeUpdate) copies the root-to-parent
-//     path with the new separator/leaf spliced in, splits overfull inner
-//     nodes, swaps the root, and retires replaced nodes through EBR.
-//     Structure changes are serialized by one mutex — splits are rare.
+//   * insert_split() (the paper's htmTreeUpdate) first tries the COW fast
+//     path: record the descent path (node stack + child indexes, the
+//     rcu-htm traversal stack), build a replacement of the leaf's parent
+//     out of place, and INSTALL it with a short HTM transaction that
+//     re-validates every recorded link and swaps exactly one pointer — a
+//     one-cache-line write set, so install transactions essentially never
+//     capacity-abort.  The replaced node is retired through EBR strictly
+//     AFTER the swap.
+//   * When the fast path cannot apply (parent full so the split must
+//     propagate, validation keeps failing, or COW installs are disabled)
+//     the legacy serialized path runs: copy the whole root-to-parent path
+//     with the new separator spliced in, split overfull inner nodes, swap
+//     the root under the SMO fallback lock, and retire every replaced node.
+//     Its rebuild+swap executes as one transaction (atomic_exec_excl) with
+//     the whole-path write-set footprint declared to the abort injector —
+//     this is the measurable "in-place large-transaction SMO" baseline the
+//     COW install is compared against in EXPERIMENTS.md.
+//
+// Mutual exclusion between the two paths: install transactions run through
+// atomic_exec against smo_lock_, so they subscribe to the lock (an install
+// aborts while a serialized SMO holds it, and the injected/software tiers
+// commit under it).  The serialized path holds smo_lock_ for its entire
+// read-copy-swap window.  Published nodes are immutable except for child
+// slots of level>=1 nodes, which only install transactions re-point; a
+// stale parent is therefore always caught by the spine re-validation.
 //
 // A reader can reach a leaf that has just split (its snapshot predates the
-// root swap); the owning trees resolve that B-link style via the persistent
+// install); the owning trees resolve that B-link style via the persistent
 // per-leaf high_key/next chain, exactly as the paper's find redirects.
 //
 // The paper's evaluation keeps internal nodes identical across all compared
 // trees; every tree in this library instantiates this template.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "epoch/ebr.hpp"
+#include "htm/rtm.hpp"
+#include "htm/smo.hpp"
+#include "htm/spinlock.hpp"
 #include "obs/metrics.hpp"
 
 namespace rnt::inner {
@@ -56,12 +83,19 @@ class InnerTree {
   /// depth ~5 with 64-entry leaves, mirroring the paper's setup.
   static constexpr int kFanout = 16;
 
-  explicit InnerTree(epoch::EpochManager& epochs) : epochs_(epochs) {}
+  /// @p cow_install selects the COW fast path for splits (default).  false
+  /// routes every SMO through the serialized whole-path rebuild — the
+  /// pre-COW behaviour, kept for before/after measurement and the
+  /// linearizability test's pre-COW leg.
+  explicit InnerTree(epoch::EpochManager& epochs, bool cow_install = true)
+      : epochs_(epochs), cow_install_(cow_install) {}
 
   ~InnerTree() { free_subtree(root_.load(std::memory_order_relaxed)); }
 
   InnerTree(const InnerTree&) = delete;
   InnerTree& operator=(const InnerTree&) = delete;
+
+  bool cow_install_enabled() const noexcept { return cow_install_; }
 
   /// Initialise with a single leaf covering the whole key space.
   void init_single(Leaf* leftmost) {
@@ -69,7 +103,7 @@ class InnerTree {
     Node* r = new Node;
     r->level = 0;
     r->count = 0;
-    r->children[0] = leftmost;
+    r->children[0].store(leftmost, std::memory_order_relaxed);
     root_.store(r, std::memory_order_release);
   }
 
@@ -81,41 +115,23 @@ class InnerTree {
   Leaf* find_leaf(Key k) const noexcept {
     const Node* n = root_.load(std::memory_order_acquire);
     while (n->level > 0) {
-      const Node* child =
-          static_cast<const Node*>(n->children[n->child_index(k)]);
+      const Node* child = static_cast<const Node*>(n->child(n->child_index(k)));
       __builtin_prefetch(child, /*rw=*/0, /*locality=*/3);
       __builtin_prefetch(reinterpret_cast<const char*>(child) + 64, 0, 3);
       n = child;
     }
-    return static_cast<Leaf*>(n->children[n->child_index(k)]);
+    return static_cast<Leaf*>(n->child(n->child_index(k)));
   }
 
   /// Splice (separator, new_leaf) immediately to the right of @p old_leaf:
   /// the paper's htmTreeUpdate after a leaf split.  @p sep is the split key
-  /// (minimum key of new_leaf's range).
+  /// (minimum key of new_leaf's range).  The caller must hold an
+  /// epoch::Guard: the COW fast path reads path nodes outside any lock and
+  /// relies on the pin to keep concurrently retired nodes mapped.
   void insert_split(Key sep, Leaf* old_leaf, Leaf* new_leaf) {
     detail::counters().updates.inc();
-    std::lock_guard lk(mu_);
-    Node* old_root = root_.load(std::memory_order_relaxed);
-    // Replaced nodes are collected and retired only AFTER the root swap
-    // below.  Retiring them inside the recursion would be a use-after-free
-    // window: retire() may run collect() inline, and until the swap the old
-    // path — stamped with the still-current epoch — remains reachable from
-    // the installed root, so a fresh reader could traverse a freed node.
-    // (Found by the TSan stress test.)
-    std::vector<Node*> replaced;
-    InsertResult r = insert_rec(old_root, sep, old_leaf, new_leaf, replaced);
-    Node* new_root = r.left;
-    if (r.right != nullptr) {
-      new_root = new Node;
-      new_root->level = static_cast<std::int16_t>(r.left->level + 1);
-      new_root->count = 1;
-      new_root->keys[0] = r.pushed;
-      new_root->children[0] = r.left;
-      new_root->children[1] = r.right;
-    }
-    root_.store(new_root, std::memory_order_release);
-    for (Node* n : replaced) retire_node(n);
+    if (cow_install_ && try_cow_install(sep, old_leaf, new_leaf)) return;
+    legacy_insert_split(sep, old_leaf, new_leaf);
   }
 
   /// Rebuild from an ordered leaf chain.  @p leaves are all leaves left to
@@ -126,7 +142,7 @@ class InnerTree {
     assert(!leaves.empty());
     assert(separators.size() + 1 == leaves.size());
     detail::counters().rebuilds.inc();
-    std::lock_guard lk(mu_);
+    htm::SpinGuard lk(smo_lock_);
     Node* old_root = root_.exchange(nullptr, std::memory_order_relaxed);
     free_subtree(old_root);
 
@@ -141,7 +157,8 @@ class InnerTree {
         const std::size_t take =
             std::min<std::size_t>(kFanout + 1, leaves.size() - i);
         n->count = static_cast<std::int16_t>(take - 1);
-        for (std::size_t j = 0; j < take; ++j) n->children[j] = leaves[i + j];
+        for (std::size_t j = 0; j < take; ++j)
+          n->children[j].store(leaves[i + j], std::memory_order_relaxed);
         for (std::size_t j = 0; j + 1 < take; ++j) n->keys[j] = separators[i + j];
         if (i + take < leaves.size()) seps.push_back(separators[i + take - 1]);
         level.push_back(n);
@@ -158,7 +175,8 @@ class InnerTree {
         const std::size_t take =
             std::min<std::size_t>(kFanout + 1, level.size() - i);
         n->count = static_cast<std::int16_t>(take - 1);
-        for (std::size_t j = 0; j < take; ++j) n->children[j] = level[i + j];
+        for (std::size_t j = 0; j < take; ++j)
+          n->children[j].store(level[i + j], std::memory_order_relaxed);
         for (std::size_t j = 0; j + 1 < take; ++j) n->keys[j] = seps[i + j];
         if (i + take < level.size()) next_seps.push_back(seps[i + take - 1]);
         next_level.push_back(n);
@@ -178,7 +196,8 @@ class InnerTree {
 
   /// Read-only walk over every inner node in the current snapshot, calling
   /// fn(level, separator_count) once per node.  The caller must hold an
-  /// epoch::Guard: published nodes are immutable (COW path updates), so the
+  /// epoch::Guard: published nodes are immutable except for child-slot
+  /// installs (each of which republishes a fully built subtree), so the
   /// snapshot reached from root_ stays consistent for the walk's duration.
   template <typename Fn>
   void for_each_node(Fn&& fn) const {
@@ -189,8 +208,14 @@ class InnerTree {
   struct Node {
     std::int16_t count;  ///< number of separator keys (children = count + 1)
     std::int16_t level;  ///< 0 => children are Leaf*
-    Key keys[kFanout + 1];        // +1: transient slot while splitting
-    void* children[kFanout + 2];
+    Key keys[kFanout + 1];  // +1: transient slot while splitting
+    /// Atomic: COW installs re-point one slot of a live level>=1 node while
+    /// readers descend through it (release store vs acquire load pairs).
+    std::atomic<void*> children[kFanout + 2];
+
+    void* child(int i) const noexcept {
+      return children[i].load(std::memory_order_acquire);
+    }
 
     /// Index of the child whose subtree covers @p k (keys >= keys[i] go
     /// right of separator i).  Branch-free linear scan: with at most 17
@@ -204,6 +229,179 @@ class InnerTree {
     }
   };
 
+  /// Deepest install path supported by the stack-recording fast path; a
+  /// fanout-16 tree covering 2^64 keys never reaches it.
+  static constexpr int kMaxInstallDepth = 24;
+  /// Re-traversal attempts before the fast path concedes to the serialized
+  /// one (each retry means a concurrent SMO republished part of our path).
+  static constexpr int kInstallRetries = 3;
+  /// Cache lines one node spans — the per-node write-set footprint the
+  /// serialized whole-path SMO declares to the abort injector.
+  static constexpr unsigned kNodeLines =
+      static_cast<unsigned>((sizeof(Node) + 63) / 64);
+
+  // -------------------------------------------------------------------------
+  // COW fast path (rcu-htm): record the traversal stack, copy the parent out
+  // of place, validate + swap one pointer inside a short install transaction.
+  // -------------------------------------------------------------------------
+  bool try_cow_install(Key sep, Leaf* old_leaf, Leaf* new_leaf) {
+    htm::SmoCounters& smo = htm::smo_counters();
+    for (int retry = 0; retry < kInstallRetries; ++retry) {
+      // 1. Record the descent path: ancestors of the leaf's parent plus the
+      //    child index taken at each (the rcu-htm node_stack).
+      Node* stack[kMaxInstallDepth];
+      int idx[kMaxInstallDepth];
+      int depth = 0;
+      Node* n = root_.load(std::memory_order_acquire);
+      while (n->level > 0) {
+        if (depth >= kMaxInstallDepth) return false;
+        const int i = n->child_index(sep);
+        stack[depth] = n;
+        idx[depth] = i;
+        ++depth;
+        n = static_cast<Node*>(n->child(i));
+      }
+      Node* parent = n;
+      const int pidx = parent->child_index(sep);
+      if (parent->count >= kFanout) {
+        // No room: the split must propagate into the ancestors — that is
+        // the serialized path's multi-node job (one split in ~kFanout).
+        smo.overflow_fallbacks.inc();
+        return false;
+      }
+      if (parent->child(pidx) != old_leaf) {
+        // The parent was republished between the leaf split and now (or a
+        // concurrent install landed here); re-traverse.
+        smo.validation_failures.inc();
+        continue;
+      }
+
+      // 2. Build the replacement parent out of place in transient memory.
+      Node* copy = clone_with_splice(parent, pidx, sep, new_leaf);
+
+      // 3. Short install transaction: re-validate every recorded link, then
+      //    swap exactly one pointer.  Write set = one cache line, so the
+      //    injector (and real RTM) sees a minimal capacity profile.
+      bool installed = false;
+      {
+        htm::SmoInstallScope in_install;
+        htm::TxFootprint footprint(1);
+        htm::atomic_exec(
+            smo_lock_,
+            [&]() {
+              if (root_.load(std::memory_order_relaxed) !=
+                  (depth > 0 ? stack[0] : parent))
+                return;
+              for (int d = 0; d + 1 < depth; ++d)
+                if (stack[d]->children[idx[d]].load(std::memory_order_relaxed) !=
+                    stack[d + 1])
+                  return;
+              if (depth > 0 && stack[depth - 1]
+                                       ->children[idx[depth - 1]]
+                                       .load(std::memory_order_relaxed) != parent)
+                return;
+              if (parent->children[pidx].load(std::memory_order_relaxed) !=
+                  old_leaf)
+                return;
+              if (depth == 0)
+                root_.store(copy, std::memory_order_release);
+              else
+                stack[depth - 1]->children[idx[depth - 1]].store(
+                    copy, std::memory_order_release);
+              installed = true;
+            },
+            htm::smo_install_policy());
+      }
+      if (installed) {
+        smo.installs.inc();
+        if (depth == 0) smo.root_installs.inc();
+        // Retire strictly AFTER the swap (same discipline as the serialized
+        // path): until the install, `parent` is reachable from the current
+        // root and a fresh reader could still walk into it.
+        retire_node(parent);
+        return true;
+      }
+      delete copy;  // never published; no reader can hold it
+      smo.validation_failures.inc();
+    }
+    smo.retry_fallbacks.inc();
+    return false;
+  }
+
+  /// Copy of @p n with (sep, new_leaf) spliced in right of child @p pidx.
+  /// Requires n->count < kFanout (the fast path's no-propagation case).
+  Node* clone_with_splice(const Node* n, int pidx, Key sep, Leaf* new_leaf) {
+    Node* copy = clone_node(n);
+    for (int j = copy->count; j > pidx; --j) copy->keys[j] = copy->keys[j - 1];
+    for (int j = copy->count + 1; j > pidx + 1; --j)
+      copy->children[j].store(
+          copy->children[j - 1].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    copy->keys[pidx] = sep;
+    copy->children[pidx + 1].store(new_leaf, std::memory_order_relaxed);
+    copy->count++;
+    return copy;
+  }
+
+  /// Field-wise copy (Node holds atomics, so no copy constructor).  The
+  /// source is a published, immutable node; the copy is private until its
+  /// install publishes it, so relaxed stores suffice — the installing
+  /// release store orders them for readers.
+  static Node* clone_node(const Node* n) {
+    Node* copy = new Node;
+    copy->count = n->count;
+    copy->level = n->level;
+    for (int i = 0; i < n->count; ++i) copy->keys[i] = n->keys[i];
+    for (int i = 0; i <= n->count; ++i)
+      copy->children[i].store(n->children[i].load(std::memory_order_acquire),
+                              std::memory_order_relaxed);
+    return copy;
+  }
+
+  // -------------------------------------------------------------------------
+  // Serialized whole-path rebuild: COW of the full root-to-parent path under
+  // the SMO fallback lock (which every install transaction subscribes to).
+  // Handles split propagation and root growth; also the cow_install_=false
+  // baseline.  The rebuild+swap runs as ONE transaction with the whole-path
+  // footprint declared, modelling the in-place large-write-set SMO the COW
+  // install replaces (the "before" of the capacity-abort measurement).
+  // -------------------------------------------------------------------------
+  void legacy_insert_split(Key sep, Leaf* old_leaf, Leaf* new_leaf) {
+    htm::smo_counters().legacy_smos.inc();
+    htm::SpinGuard lk(smo_lock_);
+    // Replaced nodes are collected and retired only AFTER the root swap
+    // below.  Retiring them inside the recursion would be a use-after-free
+    // window: retire() may run collect() inline, and until the swap the old
+    // path — stamped with the still-current epoch — remains reachable from
+    // the installed root, so a fresh reader could traverse a freed node.
+    // (Found by the TSan stress test.)
+    std::vector<Node*> replaced;
+    {
+      htm::SmoInstallScope in_install;
+      htm::TxFootprint footprint(
+          static_cast<unsigned>(std::max(height(), 1)) * kNodeLines);
+      htm::atomic_exec_excl(
+          [&] {
+            replaced.clear();  // exception-replay safety (injected CrashPoint)
+            Node* old_root = root_.load(std::memory_order_relaxed);
+            InsertResult r =
+                insert_rec(old_root, sep, old_leaf, new_leaf, replaced);
+            Node* new_root = r.left;
+            if (r.right != nullptr) {
+              new_root = new Node;
+              new_root->level = static_cast<std::int16_t>(r.left->level + 1);
+              new_root->count = 1;
+              new_root->keys[0] = r.pushed;
+              new_root->children[0].store(r.left, std::memory_order_relaxed);
+              new_root->children[1].store(r.right, std::memory_order_relaxed);
+            }
+            root_.store(new_root, std::memory_order_release);
+          },
+          htm::smo_install_policy());
+    }
+    for (Node* n : replaced) retire_node(n);
+  }
+
   struct InsertResult {
     Node* left;
     Node* right;  ///< nullptr if the copied node did not split
@@ -215,29 +413,33 @@ class InnerTree {
   /// @p replaced — the caller retires them after publishing the new root.
   InsertResult insert_rec(Node* n, Key sep, Leaf* old_leaf, Leaf* new_leaf,
                           std::vector<Node*>& replaced) {
-    Node* copy = new Node(*n);
+    Node* copy = clone_node(n);
     const int idx = n->child_index(sep);
     if (n->level == 0) {
-      assert(n->children[idx] == old_leaf &&
+      assert(n->child(idx) == old_leaf &&
              "insert_split: separator does not land on the splitting leaf");
       (void)old_leaf;
       // Shift keys/children right of idx and splice the new separator.
       for (int j = copy->count; j > idx; --j) copy->keys[j] = copy->keys[j - 1];
       for (int j = copy->count + 1; j > idx + 1; --j)
-        copy->children[j] = copy->children[j - 1];
+        copy->children[j].store(
+            copy->children[j - 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
       copy->keys[idx] = sep;
-      copy->children[idx + 1] = new_leaf;
+      copy->children[idx + 1].store(new_leaf, std::memory_order_relaxed);
       copy->count++;
     } else {
-      InsertResult child = insert_rec(static_cast<Node*>(n->children[idx]), sep,
+      InsertResult child = insert_rec(static_cast<Node*>(n->child(idx)), sep,
                                       old_leaf, new_leaf, replaced);
-      copy->children[idx] = child.left;
+      copy->children[idx].store(child.left, std::memory_order_relaxed);
       if (child.right != nullptr) {
         for (int j = copy->count; j > idx; --j) copy->keys[j] = copy->keys[j - 1];
         for (int j = copy->count + 1; j > idx + 1; --j)
-          copy->children[j] = copy->children[j - 1];
+          copy->children[j].store(
+              copy->children[j - 1].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
         copy->keys[idx] = child.pushed;
-        copy->children[idx + 1] = child.right;
+        copy->children[idx + 1].store(child.right, std::memory_order_relaxed);
         copy->count++;
       }
     }
@@ -253,7 +455,9 @@ class InnerTree {
     const Key pushed = copy->keys[half];
     for (int j = 0; j < right->count; ++j) right->keys[j] = copy->keys[half + 1 + j];
     for (int j = 0; j <= right->count; ++j)
-      right->children[j] = copy->children[half + 1 + j];
+      right->children[j].store(
+          copy->children[half + 1 + j].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     copy->count = static_cast<std::int16_t>(half);
     return {copy, right, pushed};
   }
@@ -264,7 +468,7 @@ class InnerTree {
     fn(static_cast<int>(n->level), static_cast<int>(n->count));
     if (n->level > 0)
       for (int i = 0; i <= n->count; ++i)
-        visit_rec(static_cast<const Node*>(n->children[i]), fn);
+        visit_rec(static_cast<const Node*>(n->child(i)), fn);
   }
 
   void retire_node(Node* n) {
@@ -276,13 +480,17 @@ class InnerTree {
     if (n == nullptr) return;
     if (n->level > 0)
       for (int i = 0; i <= n->count; ++i)
-        free_subtree(static_cast<Node*>(n->children[i]));
+        free_subtree(static_cast<Node*>(
+            n->children[i].load(std::memory_order_relaxed)));
     delete n;
   }
 
   epoch::EpochManager& epochs_;
   std::atomic<Node*> root_{nullptr};
-  std::mutex mu_;
+  /// SMO fallback lock: install transactions subscribe to it (atomic_exec),
+  /// the serialized whole-path rebuild and bulk_load hold it outright.
+  htm::SpinLock smo_lock_;
+  const bool cow_install_;
 };
 
 }  // namespace rnt::inner

@@ -1,5 +1,6 @@
 #include "sim/models.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -27,7 +28,9 @@ struct SimMetrics {
   obs::Counter finds{"op.find"};
   obs::Counter updates{"op.update"};
   obs::Counter aborts_conflict{"htm.aborts_conflict"};
+  obs::Counter aborts_capacity{"htm.aborts_capacity"};
   obs::Counter fallbacks{"htm.fallbacks"};
+  obs::Counter smo_installs{"htm.smo.installs"};
   obs::Counter persists{"nvm.persist"};
   obs::Counter batch_persists{"nvm.batch_persist"};
   obs::Counter batch_fences{"nvm.batch_fence"};
@@ -74,6 +77,8 @@ struct Ctx {
   std::uint64_t completed = 0;
   std::uint64_t find_retries = 0;
   std::uint64_t htm_fallbacks = 0;
+  std::uint64_t smo_count = 0;
+  std::uint64_t aborts_capacity = 0;
   LatencyHistogram read_latency;
   LatencyHistogram update_latency;
 
@@ -266,6 +271,61 @@ Task worker(Ctx& ctx, int wid) {
           co_await Delay{s, d};
           ph.add(obs::Phase::kSmo, s.now() - t0);  // inclusive of its persist
         }
+        // Inner-node SMO model (bench_ablation_smo): roughly every
+        // keys_per_leaf-th modify splits its leaf and must install the new
+        // separator into the (transient) inner structure.
+        if (ctx.cfg.smo.enabled &&
+            rng.next_below(std::max<std::uint64_t>(2, ctx.cfg.keys_per_leaf)) ==
+                0) {
+          const SimConfig::Smo& smo = ctx.cfg.smo;
+          const SimTime t0 = s.now();
+          ctx.smo_count++;
+          if (smo.cow) {
+            // RCU-HTM: build replacement out of place, then a one-line
+            // validate+swap transaction.  Its write set never capacity-
+            // aborts; only conflicts (another install touching the same
+            // spine) can, and they grow with core count but stay cheap —
+            // the retry is another short install, not a serialized rewrite.
+            co_await Delay{s, smo.build_ns};
+            const std::uint64_t conflict_pm = std::min<std::uint64_t>(
+                400, 2 * static_cast<std::uint64_t>(ctx.cfg.threads));
+            for (int attempts = 0;
+                 attempts < 3 && rng.next_below(1000) < conflict_pm;
+                 ++attempts) {
+              sm.aborts_conflict.inc();
+              co_await Delay{s, c.backoff + smo.install_ns};
+            }
+            co_await Delay{s, smo.install_ns};
+            sm.smo_installs.inc();
+          } else {
+            // In-place rewrite: the whole inner path is the transaction's
+            // write set, so a fixed (size-driven, contention-independent)
+            // share of attempts capacity-aborts; retrying a capacity abort
+            // is hopeless, so it escalates to the shard fallback lock and
+            // serializes — the storm the paper measures at high cores.
+            bool done = false;
+            for (int attempts = 0; attempts < 2 && !done; ++attempts) {
+              co_await Delay{s, smo.inplace_ns};
+              if (rng.next_below(1000) >= smo.capacity_permille) {
+                done = true;
+              } else {
+                ctx.aborts_capacity++;
+                sm.aborts_capacity.inc();
+                co_await Delay{s, c.backoff};
+              }
+            }
+            if (!done) {
+              const SimTime tl = s.now();
+              co_await fallback.acquire(s);
+              ph.add(obs::Phase::kLockWait, s.now() - tl);
+              ctx.htm_fallbacks++;
+              sm.fallbacks.inc();
+              co_await Delay{s, smo.inplace_ns};
+              fallback.release(s);
+            }
+          }
+          ph.add(obs::Phase::kSmo, s.now() - t0);
+        }
         leaf.last_commit = s.now();
         leaf.lock.release(s);
       } else {
@@ -433,6 +493,8 @@ SimResult run_simulation(const SimConfig& cfg) {
   res.update_latency = ctx.update_latency;
   res.find_retries = ctx.find_retries;
   res.htm_fallbacks = ctx.htm_fallbacks;
+  res.smo_count = ctx.smo_count;
+  res.aborts_capacity = ctx.aborts_capacity;
   return res;
 }
 

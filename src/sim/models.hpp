@@ -89,6 +89,23 @@ struct SimConfig {
     std::uint64_t key = 0;
     int aborts = 3;
   } inject;
+  /// SMO transaction modeling (bench_ablation_smo): every ~keys_per_leaf-th
+  /// RNTree modify triggers a structural modification.  cow = true models
+  /// the RCU-HTM install (out-of-place build, then a one-cache-line install
+  /// transaction whose abort probability is contention only); cow = false
+  /// models the in-place rewrite, whose whole-path write set suffers
+  /// capacity aborts (capacity_permille) independent of contention and
+  /// escalates to the shard fallback lock — the serialization the paper's
+  /// capacity-abort storms produce at high core counts.
+  struct Smo {
+    bool enabled = false;
+    bool cow = true;
+    std::uint64_t build_ns = 350;    ///< out-of-place node construction
+    std::uint64_t install_ns = 90;   ///< one-line validate+swap transaction
+    std::uint64_t inplace_ns = 900;  ///< in-place multi-node rewrite txn
+    /// Probability (permille) one in-place SMO attempt capacity-aborts.
+    std::uint32_t capacity_permille = 400;
+  } smo;
   Costs costs;
 };
 
@@ -99,6 +116,8 @@ struct SimResult {
   std::uint64_t completed = 0;
   std::uint64_t find_retries = 0;
   std::uint64_t htm_fallbacks = 0;
+  std::uint64_t smo_count = 0;         ///< SMOs executed (smo.enabled)
+  std::uint64_t aborts_capacity = 0;   ///< capacity aborts in SMO txns
 };
 
 /// Run one deterministic simulation.

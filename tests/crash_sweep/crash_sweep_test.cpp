@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "crash_sweep/adapters.hpp"
+#include "htm/abort_inject.hpp"
+#include "htm/smo.hpp"
 #include "obs/metrics.hpp"
 
 namespace rnt::crash_sweep {
@@ -99,6 +101,66 @@ TEST(CrashSweepObs, CountersAreRegistered) {
   EXPECT_GT(snap.counter("sweep.recoveries"), 0u);
   EXPECT_GT(snap.counter("sweep.events"), 0u);
   EXPECT_GT(snap.counter("sweep.persist_gate_checks"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// COW SMO install sweep.  The typed InsertInnerSmoEveryCrashPoint above
+// already covers the COW install (cow_smo defaults on); these pin the two
+// variants it no longer reaches:
+//  - the install transaction racing INTO the fallback acquisition: scripted
+//    aborts (conflict, conflict, capacity) force every install through the
+//    retry tiers and onto the lock path while the leaf split's persists are
+//    in flight — then crash at every tracked NVM event.  Injection cannot
+//    change the event count: the inner rebuild touches no NVM and the
+//    "committed" attempt runs exactly once either way.
+//  - the pre-COW serialized SMO path (cow_smo=false), kept as the
+//    before/after baseline.
+// ---------------------------------------------------------------------------
+
+struct RnTreeLegacySmoAdapter : RnTreeAdapter<true> {
+  static constexpr const char* kName = "rntree-legacy-smo";
+  static std::unique_ptr<Tree> make(nvm::PmemPool& p) {
+    return std::make_unique<Tree>(
+        p, typename Tree::Options{.dual_slot = true, .cow_smo = false});
+  }
+  static std::unique_ptr<Tree> recover(nvm::PmemPool& p) {
+    return std::make_unique<Tree>(
+        typename Tree::recover_t{}, p,
+        typename Tree::Options{.dual_slot = true, .cow_smo = false});
+  }
+};
+
+using CrashSweepCowSmo = CrashSweepT<RnTreeAdapter<true>>;
+
+TEST_F(CrashSweepCowSmo, InstallRacingFallbackEveryCrashPoint) {
+  using A = RnTreeAdapter<true>;
+  htm::ScriptedAbortInjector script({htm::AbortCause::kConflict,
+                                     htm::AbortCause::kConflict,
+                                     htm::AbortCause::kCapacity});
+  htm::SmoTargetedInjector smo_only(script);
+  htm::ScopedAbortInjector scope(&smo_only);
+  sweep_scenario<A>(make_scenario<A>(OpClass::kInsertInnerSmo),
+                    nvm::EvictionMode::kNone, 0);
+  EXPECT_GT(script.injected(), 0u)
+      << "no install transaction saw the scripted abort schedule";
+}
+
+TEST_F(CrashSweepCowSmo, InstallRacingFallbackRandomEviction) {
+  using A = RnTreeAdapter<true>;
+  htm::ScriptedAbortInjector script({htm::AbortCause::kConflict,
+                                     htm::AbortCause::kConflict,
+                                     htm::AbortCause::kCapacity});
+  htm::SmoTargetedInjector smo_only(script);
+  htm::ScopedAbortInjector scope(&smo_only);
+  sweep_scenario<A>(make_scenario<A>(OpClass::kInsertInnerSmo),
+                    nvm::EvictionMode::kRandomEviction, 3);
+  EXPECT_GT(script.injected(), 0u);
+}
+
+TEST_F(CrashSweepCowSmo, LegacySmoPathEveryCrashPoint) {
+  using A = RnTreeLegacySmoAdapter;
+  sweep_scenario<A>(make_scenario<A>(OpClass::kInsertInnerSmo),
+                    nvm::EvictionMode::kNone, 0);
 }
 
 // ---------------------------------------------------------------------------

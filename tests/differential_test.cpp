@@ -15,6 +15,11 @@
 // and kPoolExhausted is the ONLY acceptable divergence from the oracle — an
 // exhausted op is skipped by the oracle and the stream carries on, through
 // both recovery cycles.  RNT_FAULT_SEEDS overrides the seed count (CI pins 4).
+// FaultMode::kSmoAbortStorm narrows the same harness onto the COW SMO
+// install path: a high-permille storm behind SmoTargetedInjector aborts
+// ONLY install transactions (leaf ops run clean), driving every split's
+// install through retry, validation-failure, and lock-fallback tiers while
+// the oracle watches for any caller-visible effect.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -34,6 +39,7 @@
 #include "common/status.hpp"
 #include "core/rntree.hpp"
 #include "htm/abort_inject.hpp"
+#include "htm/smo.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
 #include "shard/sharded_tree.hpp"
@@ -200,15 +206,25 @@ bool pool_exhausted_result(const R& r) {
     return false;
 }
 
+/// Where the injected aborts land.
+enum class FaultMode {
+  kGlobalAborts,   ///< every transaction, moderate rate (the original mode)
+  kSmoAbortStorm,  ///< SMO install transactions only, storm rate
+};
+
 /// Fault-injected stream: like run_stream, but with seeded random HTM abort
 /// injection installed, a minimum-size pool pre-filled until inserts fail,
 /// and exhaustion-aware oracle semantics — an op that returns kPoolExhausted
 /// is a no-op for the oracle; any other divergence is a failure.
 template <typename Adapter>
 std::optional<std::string> run_fault_stream(const std::vector<Op>& ops,
-                                            std::uint64_t seed) {
-  htm::RandomAbortInjector inj(seed, /*abort_permille=*/300);
-  htm::ScopedAbortInjector scope(&inj);
+                                            std::uint64_t seed,
+                                            FaultMode mode) {
+  const bool storm = mode == FaultMode::kSmoAbortStorm;
+  htm::RandomAbortInjector inj(seed, /*abort_permille=*/storm ? 800 : 300);
+  htm::SmoTargetedInjector smo_only(inj);
+  htm::ScopedAbortInjector scope(
+      storm ? static_cast<htm::AbortInjector*>(&smo_only) : &inj);
 
   nvm::PmemPool pool(std::size_t{2} << 20);  // minimum size: ~1 MiB of data
   auto tree = Adapter::make(pool);
@@ -334,12 +350,13 @@ inline std::uint64_t fault_seed_count() {
 }
 
 template <typename Adapter>
-void run_fault_differential(const char* name) {
+void run_fault_differential(const char* name,
+                            FaultMode mode = FaultMode::kGlobalAborts) {
   const std::uint64_t seeds = fault_seed_count();
   for (std::uint64_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = 0xF00D + s * 131;
     const std::vector<Op> ops = make_stream(seed, 1200);
-    const auto failure = run_fault_stream<Adapter>(ops, seed);
+    const auto failure = run_fault_stream<Adapter>(ops, seed, mode);
     if (failure)
       FAIL() << name << " fault seed " << seed << ": " << *failure
              << "\nreproduce: RNT_FAULT_SEEDS=" << seeds
@@ -408,6 +425,20 @@ struct RnAdapter {
   static std::unique_ptr<RN> recover(nvm::PmemPool& p) {
     return std::make_unique<RN>(RN::recover_t{}, p,
                                 RN::Options{.dual_slot = DualSlot});
+  }
+};
+
+// Pre-COW serialized SMO path (cow_smo=false): baseline for the SMO abort
+// storm legs.
+struct RnLegacySmoAdapter {
+  static RN::Options opts() {
+    return {.dual_slot = true, .root_slot = 0, .cow_smo = false};
+  }
+  static std::unique_ptr<RN> make(nvm::PmemPool& p) {
+    return std::make_unique<RN>(p, opts());
+  }
+  static std::unique_ptr<RN> recover(nvm::PmemPool& p) {
+    return std::make_unique<RN>(RN::recover_t{}, p, opts());
   }
 };
 
@@ -497,6 +528,23 @@ TEST_F(DifferentialTest, FaultFpTree) {
 }
 TEST_F(DifferentialTest, FaultShardedHash4) {
   run_fault_differential<ShardedAdapter>("sharded-hash4");
+}
+
+// SMO abort storms: 800-permille seeded aborts aimed ONLY at SMO install
+// transactions.  The pre-fill's sequential splits and both recovery
+// rebuilds run every install through retry / validation-failure / lock
+// fallback; none of it may be visible to the oracle.
+TEST_F(DifferentialTest, FaultCowSmoDualSlot) {
+  run_fault_differential<RnAdapter<true>>("rntree-dual-smostorm",
+                                          FaultMode::kSmoAbortStorm);
+}
+TEST_F(DifferentialTest, FaultCowSmoSingleSlot) {
+  run_fault_differential<RnAdapter<false>>("rntree-single-smostorm",
+                                           FaultMode::kSmoAbortStorm);
+}
+TEST_F(DifferentialTest, FaultCowSmoLegacyPath) {
+  run_fault_differential<RnLegacySmoAdapter>("rntree-legacy-smostorm",
+                                             FaultMode::kSmoAbortStorm);
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
 
 #include "common/rng.hpp"
 #include "epoch/ebr.hpp"
+#include "htm/abort_inject.hpp"
+#include "htm/smo.hpp"
 #include "inner/inner_tree.hpp"
+#include "obs/metrics.hpp"
 
 namespace rnt::inner {
 namespace {
@@ -172,6 +175,133 @@ TEST_F(InnerTreeTest, ConcurrentReadersDuringSplits) {
   stop = true;
   for (auto& th : readers) th.join();
   EXPECT_EQ(bad.load(), 0u);
+}
+
+// --- COW install fast path --------------------------------------------
+
+std::uint64_t smo_counter(const char* name) {
+  return obs::snapshot().counter(name);
+}
+
+TEST_F(InnerTreeTest, CowInstallTakesFastPath) {
+  const std::uint64_t installs0 = smo_counter("htm.smo.installs");
+  const std::uint64_t roots0 = smo_counter("htm.smo.root_installs");
+  const std::uint64_t legacy0 = smo_counter("htm.smo.legacy_path");
+
+  Tree t(epochs);
+  ASSERT_TRUE(t.cow_install_enabled());
+  FakeLeaf a{0}, b{100}, c{200};
+  t.init_single(&a);
+  epoch::Guard g = epochs.pin();
+  t.insert_split(100, &a, &b);   // root is the level-0 parent: root install
+  t.insert_split(200, &b, &c);
+  EXPECT_EQ(t.find_leaf(0), &a);
+  EXPECT_EQ(t.find_leaf(150), &b);
+  EXPECT_EQ(t.find_leaf(250), &c);
+
+  EXPECT_EQ(smo_counter("htm.smo.installs") - installs0, 2u);
+  EXPECT_EQ(smo_counter("htm.smo.root_installs") - roots0, 2u);
+  EXPECT_EQ(smo_counter("htm.smo.legacy_path") - legacy0, 0u);
+}
+
+TEST_F(InnerTreeTest, ParentOverflowFallsBackToSerializedPath) {
+  const std::uint64_t overflow0 = smo_counter("htm.smo.overflow_fallbacks");
+  const std::uint64_t legacy0 = smo_counter("htm.smo.legacy_path");
+
+  Tree t(epochs);
+  std::vector<std::unique_ptr<FakeLeaf>> leaves;
+  leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{0}));
+  t.init_single(leaves[0].get());
+  epoch::Guard g = epochs.pin();
+  // kFanout separators fill the root; the next split must propagate.
+  for (std::uint64_t s = 1; s <= Tree::kFanout + 1; ++s) {
+    FakeLeaf* old_leaf = leaves.back().get();
+    leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{s * 10}));
+    t.insert_split(s * 10, old_leaf, leaves.back().get());
+  }
+  EXPECT_EQ(t.height(), 2);
+  for (std::uint64_t k = 0; k <= (Tree::kFanout + 1) * 10; ++k)
+    EXPECT_EQ(t.find_leaf(k)->low, k / 10 * 10) << "key " << k;
+
+  EXPECT_GE(smo_counter("htm.smo.overflow_fallbacks") - overflow0, 1u);
+  EXPECT_GE(smo_counter("htm.smo.legacy_path") - legacy0, 1u);
+}
+
+TEST_F(InnerTreeTest, CowDisabledRoutesEverySmoThroughLegacyPath) {
+  const std::uint64_t installs0 = smo_counter("htm.smo.installs");
+  const std::uint64_t legacy0 = smo_counter("htm.smo.legacy_path");
+
+  Tree t(epochs, /*cow_install=*/false);
+  ASSERT_FALSE(t.cow_install_enabled());
+  FakeLeaf a{0}, b{100}, c{200};
+  t.init_single(&a);
+  epoch::Guard g = epochs.pin();
+  t.insert_split(100, &a, &b);
+  t.insert_split(200, &b, &c);
+  EXPECT_EQ(t.find_leaf(150), &b);
+  EXPECT_EQ(t.find_leaf(250), &c);
+
+  EXPECT_EQ(smo_counter("htm.smo.installs") - installs0, 0u);
+  EXPECT_EQ(smo_counter("htm.smo.legacy_path") - legacy0, 2u);
+}
+
+// Both install modes must produce identical routing for the same random
+// split history — the semantics-preservation half of the COW rewrite.
+TEST_F(InnerTreeTest, CowAndLegacyModesRouteIdentically) {
+  for (const bool cow : {true, false}) {
+    Tree t(epochs, cow);
+    std::vector<std::unique_ptr<FakeLeaf>> leaves;
+    std::map<std::uint64_t, FakeLeaf*> oracle;
+    leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{0}));
+    t.init_single(leaves[0].get());
+    oracle[0] = leaves[0].get();
+
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 1500; ++i) {
+      std::uint64_t sep = rng.next_below(1u << 18) + 1;
+      if (oracle.count(sep) != 0) continue;
+      auto it = std::prev(oracle.upper_bound(sep));
+      leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{sep}));
+      t.insert_split(sep, it->second, leaves.back().get());
+      oracle[sep] = leaves.back().get();
+    }
+    epoch::Guard g = epochs.pin();
+    for (int i = 0; i < 30000; ++i) {
+      const std::uint64_t k = rng.next_below(1u << 18);
+      auto it = std::prev(oracle.upper_bound(k));
+      ASSERT_EQ(t.find_leaf(k), it->second) << "cow=" << cow << " key " << k;
+    }
+  }
+}
+
+// Scripted aborts drive the install transaction through the retry machine's
+// conflict/spurious/capacity arms; the install must still commit (under the
+// fallback tiers) and routing must stay correct.
+TEST_F(InnerTreeTest, ScriptedAbortsDoNotDerailInstalls) {
+  using htm::AbortCause;
+  const std::uint64_t installs0 = smo_counter("htm.smo.installs");
+
+  htm::ScriptedAbortInjector inj({AbortCause::kConflict, AbortCause::kSpurious,
+                                  AbortCause::kLockSubscription});
+  htm::ScopedAbortInjector scope(&inj);
+
+  Tree t(epochs);
+  std::vector<std::unique_ptr<FakeLeaf>> leaves;
+  leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{0}));
+  t.init_single(leaves[0].get());
+  epoch::Guard g = epochs.pin();
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    FakeLeaf* old_leaf = leaves.back().get();
+    leaves.push_back(std::make_unique<FakeLeaf>(FakeLeaf{s * 10}));
+    t.insert_split(s * 10, old_leaf, leaves.back().get());
+  }
+  EXPECT_GT(inj.injected(), 0u);
+  EXPECT_GT(smo_counter("htm.smo.installs") - installs0, 0u);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = rng.next_below(2010);
+    EXPECT_EQ(t.find_leaf(k)->low, k / 10 * 10);
+  }
 }
 
 }  // namespace

@@ -4,12 +4,23 @@
 // always reported success with zero latency), must land a nonzero latency
 // sample in lat.op.scan, and must attribute heatmap kOp events to every
 // leaf range the scan visits, not just its start bucket.
+//
+// The typed suite at the bottom covers the five baseline trees: the PR-8
+// audit (OBSERVABILITY.md) recorded that they emitted no op.* telemetry at
+// all, so cross-tree latency comparisons in fig4 silently compared RNTree's
+// instrumented numbers against nothing.  Every baseline op must now record
+// exactly one op.<kind> event (upsert composites included) with a latency
+// sample.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "baselines/cdds.hpp"
+#include "baselines/fptree.hpp"
+#include "baselines/nvtree.hpp"
+#include "baselines/wbtree.hpp"
 #include "core/rntree.hpp"
 #include "nvm/pool.hpp"
 #include "obs/heatmap.hpp"
@@ -112,6 +123,61 @@ TEST_F(ScanTelemetryTest, ScanHeatsTheVisitedRange) {
 }
 
 #endif  // !RNTREE_NO_HEATMAP
+
+// --- baseline OpTrace coverage ---------------------------------------------
+
+template <typename TreeT>
+class BaselineOpTelemetryTest : public ScanTelemetryTest {};
+
+using BaselineTypes =
+    ::testing::Types<baselines::CDDSTree<>, baselines::FPTree<>,
+                     baselines::NVTree<>, baselines::WBTree<>,
+                     baselines::WBTreeSO<>>;
+TYPED_TEST_SUITE(BaselineOpTelemetryTest, BaselineTypes);
+
+TYPED_TEST(BaselineOpTelemetryTest, EveryOpKindRecordsExactlyOnce) {
+  nvm::PmemPool pool(std::size_t{16} << 20);
+  TypeParam tree(pool);
+  for (std::uint64_t i = 0; i < 400; ++i)
+    ASSERT_TRUE(tree.insert(i * 2, i));  // warm-up (counted, then diffed away)
+
+  const obs::Snapshot before = obs::snapshot();
+  constexpr std::uint64_t kOps = 25;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(tree.insert(100'000 + i, i));
+    ASSERT_TRUE(tree.update(i * 2, i + 1));
+    // Upserts are composites in some baselines: each must still record
+    // exactly ONE op.upsert and no nested op.insert/op.update.
+    ASSERT_TRUE(tree.upsert(200'000 + i, i));
+    ASSERT_TRUE(tree.find(i * 2).has_value());
+    EXPECT_FALSE(tree.find(1 + i * 2).has_value());  // miss also records
+    ASSERT_TRUE(static_cast<bool>(tree.remove(100'000 + i)));
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  ASSERT_EQ(tree.scan_n(0, 50, out), 50u);
+  const obs::Snapshot after = obs::snapshot();
+
+  EXPECT_EQ(after.counter("op.insert") - before.counter("op.insert"), kOps);
+  EXPECT_EQ(after.counter("op.update") - before.counter("op.update"), kOps);
+  EXPECT_EQ(after.counter("op.upsert") - before.counter("op.upsert"), kOps);
+  EXPECT_EQ(after.counter("op.find") - before.counter("op.find"), 2 * kOps);
+  EXPECT_EQ(after.counter("op.remove") - before.counter("op.remove"), kOps);
+  EXPECT_EQ(after.counter("op.scan") - before.counter("op.scan"), 1u);
+  EXPECT_EQ(after.counter("op.completed") - before.counter("op.completed"),
+            6 * kOps + 1);
+
+  // Latency histograms must receive the same sample counts (fig4's
+  // cross-tree latency comparison reads these).
+  for (const char* h : {"lat.op.insert", "lat.op.update", "lat.op.upsert",
+                        "lat.op.remove"})
+    EXPECT_EQ(hist_of(after, h).count - hist_of(before, h).count, kOps) << h;
+  EXPECT_EQ(hist_of(after, "lat.op.find").count -
+                hist_of(before, "lat.op.find").count,
+            2 * kOps);
+  EXPECT_EQ(hist_of(after, "lat.op.scan").count -
+                hist_of(before, "lat.op.scan").count,
+            1u);
+}
 
 }  // namespace
 }  // namespace rnt

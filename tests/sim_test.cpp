@@ -225,6 +225,51 @@ TEST(SimModels, OpenLoopRespectsArrivalRate) {
   EXPECT_NEAR(r.mops, 0.2, 0.04);
 }
 
+// --- SMO model (COW vs in-place install transactions) ------------------
+
+SimConfig smo_config(bool cow, int threads) {
+  SimConfig cfg = base_config(TreeModel::kRNTreeDS, threads, 0.0);
+  cfg.update_pct = 100;   // insert-only: split-heavy
+  cfg.keys_per_leaf = 16; // small fanout: SMO every ~16 modifies
+  cfg.smo.enabled = true;
+  cfg.smo.cow = cow;
+  return cfg;
+}
+
+TEST(SimModels, SmoModelDeterministic) {
+  const SimConfig cfg = smo_config(false, 16);
+  const SimResult a = run_simulation(cfg);
+  const SimResult b = run_simulation(cfg);
+  EXPECT_EQ(a.smo_count, b.smo_count);
+  EXPECT_EQ(a.aborts_capacity, b.aborts_capacity);
+}
+
+TEST(SimModels, CowSmoNeverCapacityAborts) {
+  // A one-cache-line install transaction cannot overflow the write set: the
+  // COW model records zero capacity aborts no matter the core count.
+  const SimResult r = run_simulation(smo_config(true, 64));
+  EXPECT_GT(r.smo_count, 100u);
+  EXPECT_EQ(r.aborts_capacity, 0u);
+}
+
+TEST(SimModels, InplaceSmoSuffersCapacityAborts) {
+  // The whole-path write set aborts a fixed share of attempts
+  // (capacity_permille = 400, two attempts before fallback).
+  const SimResult r = run_simulation(smo_config(false, 64));
+  EXPECT_GT(r.smo_count, 100u);
+  EXPECT_GT(r.aborts_capacity, r.smo_count / 4);
+}
+
+TEST(SimModels, CowSmoOutscalesInplaceAtHighCores) {
+  // The in-place path's capacity-abort fallbacks serialize on the fallback
+  // lock as cores grow; COW installs never take it (Fig 8-style contrast).
+  const SimResult cow = run_simulation(smo_config(true, 64));
+  const SimResult inp = run_simulation(smo_config(false, 64));
+  EXPECT_GT(cow.mops, inp.mops);
+  EXPECT_EQ(cow.htm_fallbacks, 0u);
+  EXPECT_GT(inp.htm_fallbacks, 0u);
+}
+
 TEST(SimModels, ReadIntensiveMixFavoursDualSlot) {
   // Fig 8(c): 90% reads, skewed — RNTree+DS near-linear, others behind.
   SimConfig ds = base_config(TreeModel::kRNTreeDS, 16, 0.8);

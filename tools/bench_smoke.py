@@ -3,7 +3,7 @@
 
 Usage:
     bench_smoke.py [--schema=stats|gate] [--telemetry] [--introspect]
-                   [--require-structure] [--group-persistency]
+                   [--require-structure] [--group-persistency] [--require-smo]
                    [--expect-usage-error] <binary> [bench flags...]
 
 Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
@@ -37,6 +37,12 @@ With --group-persistency (stats schema only) meta must carry numeric
 gp_fences_per_op_eager / gp_fences_per_op_batched, and the batched figure
 must be strictly below eager whenever meta.batch > 1 — the machine-checkable
 form of fig8's fence-amortization claim.
+
+With --require-smo (stats schema only) the counters section must carry the
+htm.smo.* cause family and record at least one committed COW install
+(htm.smo.installs >= 1) — the smoke-level proof that structure
+modifications went through the copy-on-write install path and exported
+their telemetry.
 
 With --expect-usage-error the binary must exit 2 and print a usage message;
 no JSON flag is appended.  Covers flag-validation hygiene (--sample-ms=0,
@@ -242,6 +248,20 @@ def validate_group_persistency(doc):
                f"batched fences/op ({batched}) above eager ({eager}) at batch=1")
 
 
+def validate_smo(doc):
+    """COW SMO telemetry: the htm.smo.* cause family must be exported and at
+    least one install must have committed during the smoke run."""
+    counters = doc["counters"]
+    smo = {k: v for k, v in counters.items() if k.startswith("htm.smo.")}
+    expect(smo, "no htm.smo.* counters in export")
+    for k in ("htm.smo.installs", "htm.smo.validation_failures",
+              "htm.smo.overflow_fallbacks", "htm.smo.retry_fallbacks",
+              "htm.smo.legacy_path"):
+        expect(k in counters, f"counter {k!r} missing from export")
+    expect(counters["htm.smo.installs"] >= 1,
+           "htm.smo.installs is 0 — no COW install committed during smoke")
+
+
 def validate_gate(doc):
     expect(isinstance(doc, dict), "document is not a JSON object")
     meta = doc.get("meta")
@@ -261,6 +281,7 @@ def main():
     introspect = False
     require_structure = False
     group_persistency = False
+    require_smo = False
     expect_usage_error = False
     while args and args[0].startswith("--"):
         if args[0].startswith("--schema="):
@@ -277,13 +298,17 @@ def main():
         elif args[0] == "--group-persistency":
             group_persistency = True
             args.pop(0)
+        elif args[0] == "--require-smo":
+            require_smo = True
+            args.pop(0)
         elif args[0] == "--expect-usage-error":
             expect_usage_error = True
             args.pop(0)
         else:
             break
     if schema not in ("stats", "gate") or not args or (
-            (telemetry or introspect or require_structure or group_persistency)
+            (telemetry or introspect or require_structure or group_persistency
+             or require_smo)
             and schema != "stats"):
         print(__doc__, file=sys.stderr)
         return 2
@@ -336,6 +361,8 @@ def main():
             validate_structure(doc)
         if group_persistency:
             validate_group_persistency(doc)
+        if require_smo:
+            validate_smo(doc)
         mode = ", telemetry" if telemetry else ""
         if introspect:
             mode += ", introspect"
@@ -343,6 +370,8 @@ def main():
             mode += ", structure"
         if group_persistency:
             mode += ", group-persistency"
+        if require_smo:
+            mode += ", smo"
         print(f"bench_smoke: OK ({os.path.basename(binary)}, "
               f"schema={schema}{mode})")
         return 0

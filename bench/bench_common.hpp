@@ -53,6 +53,7 @@
 
 #include "common/rng.hpp"
 #include "common/timing.hpp"
+#include "htm/stripe_table.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
 #include "obs/buildinfo.hpp"
@@ -93,6 +94,12 @@ struct BenchOptions {
   /// --batch=K group-persistency batch size (modifies per trailing fence);
   /// 1 = eager persists (the paper's Table-1 profile).
   std::uint32_t batch = 1;
+  /// --stripes=N fallback-lock stripes for benches with a striping panel
+  /// (power of two in [1, 4096]); 0 = bench/tree default.
+  std::uint32_t stripes = 0;
+  /// --recovery-workers=N parallel-recovery workers for the fig7 panels;
+  /// 0 = tree default (auto).
+  std::uint32_t recovery_workers = 0;
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
@@ -111,9 +118,12 @@ struct BenchOptions {
                  "                     (power of two, %u-%u); JSON \"heatmap\" section\n"
                  "  --heatmap-mode=M   heatmap bucketing: key (default) or leaf\n"
                  "  --shards=N         shard count (power of two, 1-%d)\n"
-                 "  --batch=K          group-persistency batch size (modifies per fence)\n",
+                 "  --batch=K          group-persistency batch size (modifies per fence)\n"
+                 "  --stripes=N        fallback-lock stripes (power of two, %u-%u)\n"
+                 "  --recovery-workers=N  parallel-recovery workers (fig7 panels)\n",
                  argv0, obs::kHeatmapMinBuckets, obs::kHeatmapMaxBuckets,
-                 nvm::PmemPool::kNumRoots);
+                 nvm::PmemPool::kNumRoots, htm::kMinFallbackStripes,
+                 htm::kMaxFallbackStripes);
   }
 
   /// Strict positive-integer flag value: the whole string must be digits and
@@ -190,6 +200,26 @@ struct BenchOptions {
         if (!parse_positive_u32(v, &o.batch)) {
           std::fprintf(stderr,
                        "%s: --batch wants a positive integer, got '%s'\n",
+                       argv[0], v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = val("--stripes=")) {
+        if (!parse_positive_u32(v, &o.stripes) ||
+            !htm::stripe_valid_count(o.stripes)) {
+          std::fprintf(stderr,
+                       "%s: --stripes wants a power of two in [%u, %u], "
+                       "got '%s'\n",
+                       argv[0], htm::kMinFallbackStripes,
+                       htm::kMaxFallbackStripes, v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = val("--recovery-workers=")) {
+        if (!parse_positive_u32(v, &o.recovery_workers)) {
+          std::fprintf(stderr,
+                       "%s: --recovery-workers wants a positive integer, "
+                       "got '%s'\n",
                        argv[0], v);
           usage(argv[0]);
           std::exit(2);
@@ -274,6 +304,11 @@ inline void export_stats(const BenchOptions& o, const std::string& bench_name,
   }
   if (o.shards != 1) meta.push_back({"shards", std::to_string(o.shards), true});
   if (o.batch != 1) meta.push_back({"batch", std::to_string(o.batch), true});
+  if (o.stripes != 0)
+    meta.push_back({"stripes", std::to_string(o.stripes), true});
+  if (o.recovery_workers != 0)
+    meta.push_back(
+        {"recovery_workers", std::to_string(o.recovery_workers), true});
   meta.insert(meta.end(), extra_meta.begin(), extra_meta.end());
   obs::write_json_snapshot(o.stats_json, meta, o.trace_in_json,
                            o.sample_ms != 0);

@@ -24,6 +24,7 @@ enum class StatusCode : std::uint8_t {
   kKeyExists = 1,   ///< conditional insert: key already present
   kKeyAbsent = 2,   ///< conditional update/remove: key not present
   kPoolExhausted = 3,  ///< pool has no space for a required allocation
+  kCorrupted = 4,      ///< recovery found inconsistent persistent state
 };
 
 class Status {
@@ -39,6 +40,9 @@ class Status {
   constexpr bool pool_exhausted() const noexcept {
     return code_ == StatusCode::kPoolExhausted;
   }
+  constexpr bool corrupted() const noexcept {
+    return code_ == StatusCode::kCorrupted;
+  }
 
   constexpr bool operator==(const Status& other) const noexcept = default;
 
@@ -48,6 +52,7 @@ class Status {
       case StatusCode::kKeyExists: return "key exists";
       case StatusCode::kKeyAbsent: return "key absent";
       case StatusCode::kPoolExhausted: return "pool exhausted";
+      case StatusCode::kCorrupted: return "corrupted";
     }
     return "unknown";
   }

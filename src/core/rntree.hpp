@@ -33,8 +33,11 @@
 #include <atomic>
 #include <cassert>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/hints.hpp"
@@ -43,6 +46,7 @@
 #include "core/rn_leaf.hpp"
 #include "epoch/ebr.hpp"
 #include "htm/rtm.hpp"
+#include "htm/stripe_table.hpp"
 #include "inner/inner_tree.hpp"
 #include "nvm/pool.hpp"
 #include "obs/heatmap.hpp"
@@ -67,6 +71,22 @@ struct TreeCounters {
 
 inline const TreeCounters& tree_counters() {
   static TreeCounters c;
+  return c;
+}
+
+/// Registry view of the recovery path (ROADMAP item 5b): how recoveries ran
+/// and what they found, exported like every other counter family.
+struct RecoveryCounters {
+  obs::Counter runs{"recovery.runs"};
+  obs::Counter parallel_runs{"recovery.parallel_runs"};
+  obs::Counter workers{"recovery.workers"};  ///< summed across runs
+  obs::Counter leaves{"recovery.leaves"};
+  obs::Counter corrupt_leaves{"recovery.corrupt_leaves"};
+  obs::Counter rollbacks{"recovery.rollbacks"};  ///< undo rollbacks applied
+};
+
+inline const RecoveryCounters& recovery_counters() {
+  static RecoveryCounters c;
   return c;
 }
 
@@ -127,11 +147,31 @@ class RNTree {
     /// the before/after capacity-abort measurement and the linearizability
     /// test's pre-COW leg).
     bool cow_smo = true;
+    /// Fallback-lock stripes (power of two in [1, 4096], see
+    /// htm/stripe_table.hpp).  Leaf publishes run against the stripe
+    /// covering their leaf and structural changes against a dedicated SMO
+    /// stripe, so a capacity-abort storm on one hot range serializes only
+    /// that stripe.  1 = the single-global-lock baseline (the SMO stripe
+    /// aliases it), selectable for the perf gate and the collapse
+    /// measurement in bench_ablation_fallback.
+    unsigned fallback_stripes = htm::kDefaultFallbackStripes;
+    /// Recovery worker threads for the per-leaf transient rebuild: 0 = auto
+    /// (serial below kParallelRecoveryMinLeaves, 8 workers above), 1 =
+    /// always serial, N > 1 = up to N workers.
+    int recovery_workers = 0;
   };
+
+  /// Auto-mode recovery stays serial below this many leaves: thread spawn
+  /// overhead beats the rebuild cost, and tiny-tree recoveries (tests,
+  /// crash sweeps) stay deterministic single-threaded.
+  static constexpr std::size_t kParallelRecoveryMinLeaves = 1024;
 
   /// Create a fresh tree in @p pool.
   RNTree(nvm::PmemPool& pool, Options opt = {})
-      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
+      : pool_(pool),
+        opt_(opt),
+        stripes_(opt.fallback_stripes),
+        inner_(epochs_, opt.cow_smo, &stripes_.smo_stripe()) {
     // Dirty-flag protocol: the clean flag must be cleared (and durable)
     // strictly before the first pool mutation, so a crash mid-construction
     // is always routed down the crash-recovery path.
@@ -150,7 +190,10 @@ class RNTree {
   /// full crash recovery (undo processing + counter rebuild) otherwise.
   struct recover_t {};
   RNTree(recover_t, nvm::PmemPool& pool, Options opt = {})
-      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
+      : pool_(pool),
+        opt_(opt),
+        stripes_(opt.fallback_stripes),
+        inner_(epochs_, opt.cow_smo, &stripes_.smo_stripe()) {
     // Capture the shutdown state, then clear the clean flag *before* any
     // recovery-time NVM mutation (undo rollback) — see fresh ctor.
     const bool crashed = !pool_.clean_shutdown();
@@ -164,9 +207,33 @@ class RNTree {
   /// member's mark_dirty() would force every later member down the crash
   /// path.  The caller owns the dirty/clean flag protocol.
   RNTree(recover_t, nvm::PmemPool& pool, bool crashed, Options opt)
-      : pool_(pool), opt_(opt), inner_(epochs_, opt.cow_smo) {
+      : pool_(pool),
+        opt_(opt),
+        stripes_(opt.fallback_stripes),
+        inner_(epochs_, opt.cow_smo, &stripes_.smo_stripe()) {
     recover(crashed);
   }
+
+  /// Non-throwing recovery surface (the structured-Status contract of the
+  /// pool-exhaustion work): returns the recovered tree, or nullptr with
+  /// @p status = kCorrupted — recovery_detail() names the corruption shape
+  /// — when the persistent state is inconsistent (no leaves, broken
+  /// high_key chain, torn leaf metadata).  Owns the dirty-flag protocol
+  /// like the recover_t ctor.
+  static std::unique_ptr<RNTree> recover_checked(nvm::PmemPool& pool,
+                                                 common::Status& status,
+                                                 Options opt = {}) {
+    const bool crashed = !pool.clean_shutdown();
+    pool.mark_dirty();
+    std::unique_ptr<RNTree> t(new RNTree(checked_t{}, pool, crashed, opt));
+    status = t->recovery_status_;
+    if (!status.ok()) return nullptr;
+    return t;
+  }
+
+  /// Human-readable corruption shape from the last (checked) recovery;
+  /// empty when recovery succeeded.
+  const char* recovery_detail() const noexcept { return recovery_detail_; }
 
   RNTree(const RNTree&) = delete;
   RNTree& operator=(const RNTree&) = delete;
@@ -371,6 +438,15 @@ class RNTree {
   TreeStats& stats() noexcept { return stats_; }
   bool dual_slot() const noexcept { return opt_.dual_slot; }
   int height() const noexcept { return inner_.height(); }
+  unsigned fallback_stripes() const noexcept { return stripes_.count(); }
+  const htm::StripeTable& stripe_table() const noexcept { return stripes_; }
+
+  /// Stripe currently covering @p k's leaf (storm targeting in benches and
+  /// fault tests; approximate under concurrent splits).
+  unsigned stripe_of_key(Key k) const {
+    epoch::Guard g = epochs_.pin();
+    return stripes_.index_of(chase(inner_.find_leaf(k), k));
+  }
 
   /// Number of leaves (walks the chain; diagnostics).
   std::size_t leaf_count() const {
@@ -505,12 +581,14 @@ class RNTree {
     // update re-points a slot at a new log entry for the same key): skip the
     // self-copy but keep the seqlock windows identical.
     if (!opt_.dual_slot) leaf->mseq.write_begin();
-    // The leaf lock is held, so the exclusive HTM variant applies: no
-    // fallback lock to subscribe to, and injected aborts exercise the retry
-    // policy on this path too.  The persist stays OUTSIDE the transaction
-    // (a flush inside an RTM transaction aborts it; the shadow asserts the
-    // equivalent).
-    htm::atomic_exec_excl(
+    // Striped lock elision: the transaction subscribes to the stripe
+    // covering THIS leaf, so a capacity-abort storm serializes only its
+    // stripe's fallbacks while every other stripe keeps committing in HTM.
+    // Lock order: the leaf version-lock (held here) always precedes stripe
+    // locks.  The persist stays OUTSIDE the transaction (a flush inside an
+    // RTM transaction aborts it; the shadow asserts the equivalent).
+    htm::atomic_exec_striped(
+        stripes_, stripes_.index_of(leaf),
         [&]() { nvm::copy_nvm(leaf->pslot, snew, kCacheLineSize); });
     // The slot line IS the op's durable commit point (the KV entry was
     // persisted before the lock), so this flush — and only this flush — may
@@ -742,6 +820,16 @@ class RNTree {
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
 
     Leaf* nl = pool_.ptr<Leaf>(new_off);
+    // Striped-regime invariant: every writer of a leaf's slot line holds
+    // that leaf's stripe (the software-fallback serializer).  The split
+    // rewrites TWO leaves' slot lines, so it takes both stripes via the
+    // ordered multi-acquire (ascending index, duplicates collapsed —
+    // deadlock-free against any other multi-acquire).  The guard is
+    // released BEFORE inner_.insert_split: at fallback_stripes == 1 the SMO
+    // stripe aliases stripe 0 and SpinLock is not reentrant, so leaf
+    // stripes and the SMO stripe are never held together on this path.
+    htm::MultiStripeGuard sg(stripes_,
+                             {stripes_.index_of(leaf), stripes_.index_of(nl)});
     nl->init();
     const int split = live / 2;
     const Key split_key = src->logs[src->pslot[1 + split]].key;
@@ -792,6 +880,7 @@ class RNTree {
     end_undo(undo);
 
     leaf->vlock.unset_split_and_bump();
+    sg.release();
     inner_.insert_split(split_key, leaf, nl);
     return common::OkStatus();
   }
@@ -802,6 +891,9 @@ class RNTree {
     stats_.count_shrink_split();
     leaf->vlock.set_split();
     quiesce_writers(leaf);
+    // Same striped-regime invariant as split_locked, single leaf: hold the
+    // stripe covering this leaf's slot line for the in-place rewrite.
+    htm::MultiStripeGuard sg(stripes_, {stripes_.index_of(leaf)});
     nvm::UndoSlot& undo = pool_.undo_slot(pmem_thread_id());
     begin_undo(undo, leaf, 0);
     const Leaf* src = reinterpret_cast<const Leaf*>(undo.data);
@@ -852,49 +944,175 @@ class RNTree {
   // Recovery (S5.4)
   // ------------------------------------------------------------------
 
+  /// Throwing wrapper around recover_status: the recover_t ctors keep the
+  /// legacy contract (corrupt pool → std::runtime_error); the checked
+  /// factory surfaces the same result as a structured Status instead.
   void recover(bool crashed) {
+    recovery_status_ = recover_status(crashed);
+    if (!recovery_status_.ok())
+      throw std::runtime_error(std::string("RNTree::recover: ") +
+                               recovery_detail_);
+  }
+
+  /// Tag ctor behind recover_checked: identical to the external-crashed
+  /// recover_t ctor except recovery failure lands in recovery_status_
+  /// instead of a throw.
+  struct checked_t {};
+  RNTree(checked_t, nvm::PmemPool& pool, bool crashed, Options opt)
+      : pool_(pool),
+        opt_(opt),
+        stripes_(opt.fallback_stripes),
+        inner_(epochs_, opt.cow_smo, &stripes_.smo_stripe()) {
+    recovery_status_ = recover_status(crashed);
+  }
+
+  common::Status fail_recovery(const char* detail) {
+    recovery_detail_ = detail;
+    return common::StatusCode::kCorrupted;
+  }
+
+  /// Per-leaf transient rebuild.  ALL volatile header fields must be
+  /// re-initialised: a crash rewinds the header cache line to its durable
+  /// image, which can leave the seqlocks odd (readers would spin forever)
+  /// or the writer-quiesce counter nonzero (splits would never proceed).
+  /// Pure volatile-side repair — no NVM events — so recovery workers run it
+  /// concurrently on disjoint leaves.  Returns false when the persistent
+  /// slot metadata is torn (live count or log index out of range),
+  /// validated BEFORE slot_fp_rebuild dereferences the indices.
+  bool repair_leaf(Leaf* leaf, bool crashed) {
+    leaf->vlock.reset();
+    leaf->mseq.reset();
+    leaf->tseq.reset();
+    leaf->writers.store(0, std::memory_order_relaxed);
+    const int count = leaf->pslot[0];
+    if (count > static_cast<int>(kSlotCap)) return false;
+    std::uint32_t max_idx = 0;
+    for (int i = 0; i < count; ++i) {
+      const std::uint8_t idx = leaf->pslot[1 + i];
+      if (idx >= Leaf::kLogCap) return false;
+      max_idx = std::max<std::uint32_t>(max_idx, idx);
+    }
+    if (crashed) {
+      // nlogs/plogs are not crash-consistent: recompute from the slot
+      // array — "scan the slot array to find the max index of log
+      // entries" (S6.2.6).  Unreferenced tail entries are reclaimed for
+      // free: the next allocation may overwrite them.
+      const std::uint32_t n = count == 0 ? 0 : max_idx + 1;
+      leaf->nlogs.store(n, std::memory_order_relaxed);
+      leaf->plogs = n;
+    }
+    // else: the clean-shutdown path trusts the persisted header counters.
+    std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
+    // The fingerprint line is transient: always rebuilt from the
+    // persistent slot array, clean shutdown or not.
+    slot_fp_rebuild(leaf->pslot, leaf->fps, leaf->logs);
+    return true;
+  }
+
+  /// Recovery worker count for @p n_leaves.  An explicit request (N > 1) is
+  /// honoured up to one worker per block — NOT clamped to the core count, so
+  /// the parallel path is exercised (timesliced) even on small CI hosts.
+  /// Auto mode (0) stays serial below kParallelRecoveryMinLeaves and
+  /// respects the hardware above it (spawning threads a 1-core host cannot
+  /// run only adds overhead when nobody asked for them).
+  unsigned recovery_worker_count(std::size_t n_leaves) const {
+    if (opt_.recovery_workers == 1) return 1;
+    const unsigned blocks = static_cast<unsigned>(
+        (n_leaves + kRecoveryBlock - 1) / kRecoveryBlock);
+    if (opt_.recovery_workers > 1)
+      return std::max(
+          1u, std::min(static_cast<unsigned>(opt_.recovery_workers), blocks));
+    if (n_leaves < kParallelRecoveryMinLeaves) return 1;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return std::max(1u, std::min(8u, std::min(hw, blocks)));
+  }
+
+  common::Status recover_status(bool crashed) {
+    detail::recovery_counters().runs.inc();
+    // All recovery-time NVM mutation happens HERE, serial, before any
+    // worker starts: a crash anywhere during the phases below re-runs
+    // recovery from unchanged persistent state (idempotence — the
+    // crash-during-recovery sweep in tests/crash_sweep exercises this).
     if (crashed) roll_back_splits();
 
+    // Phase 1 (serial): walk the persistent chain once to enumerate
+    // leaves.  The chain is the root of trust; workers operate on this
+    // snapshot vector and never chase next pointers themselves.
     std::vector<Leaf*> leaves;
-    std::vector<Key> separators;
-    std::uint64_t live = 0;
-    for (Leaf* leaf = leftmost(); leaf != nullptr; leaf = next_leaf(leaf)) {
-      // ALL volatile header fields must be re-initialised: a crash rewinds
-      // the header cache line to its durable image, which can leave the
-      // seqlocks odd (readers would spin forever) or the writer-quiesce
-      // counter nonzero (splits would never proceed).
-      leaf->vlock.reset();
-      leaf->mseq.reset();
-      leaf->tseq.reset();
-      leaf->writers.store(0, std::memory_order_relaxed);
-      if (crashed) {
-        // nlogs/plogs are not crash-consistent: recompute from the slot
-        // array — "scan the slot array to find the max index of log
-        // entries" (S6.2.6).  Unreferenced tail entries are reclaimed for
-        // free: the next allocation may overwrite them.
-        const int count = leaf->pslot[0];
-        std::uint32_t max_idx = 0;
-        for (int i = 0; i < count; ++i)
-          max_idx = std::max<std::uint32_t>(max_idx, leaf->pslot[1 + i]);
-        const std::uint32_t n = count == 0 ? 0 : max_idx + 1;
-        leaf->nlogs.store(n, std::memory_order_relaxed);
-        leaf->plogs = n;
-      }
-      // else: the clean-shutdown path trusts the persisted header counters.
-      std::memcpy(leaf->tslot, leaf->pslot, kCacheLineSize);
-      // The fingerprint line is transient: always rebuilt from the
-      // persistent slot array, clean shutdown or not.
-      slot_fp_rebuild(leaf->pslot, leaf->fps, leaf->logs);
-      live += leaf->pslot[0];
+    for (Leaf* leaf = leftmost(); leaf != nullptr; leaf = next_leaf(leaf))
       leaves.push_back(leaf);
-      if (leaf->has_high.load(std::memory_order_relaxed) != 0)
-        separators.push_back(leaf->high_key.load(std::memory_order_relaxed));
+    if (leaves.empty())
+      return fail_recovery("no leaves reachable from the root slot");
+    const std::size_t n = leaves.size();
+    detail::recovery_counters().leaves.inc(n);
+
+    // Phase 2 (parallel): per-leaf volatile rebuild.  Workers claim fixed
+    // kRecoveryBlock-sized index blocks off a shared cursor (deterministic
+    // partition, dynamic load balance); each leaf's separator lands in its
+    // own index slot, so the merge below is independent of scheduling.
+    std::vector<std::uint8_t> has_sep(n, 0);
+    std::vector<Key> sep(n, Key{});
+    std::atomic<std::uint64_t> live_total{0};
+    std::atomic<bool> torn{false};
+    std::atomic<std::size_t> next_block{0};
+    auto work = [&]() {
+      std::uint64_t local_live = 0;
+      for (;;) {
+        const std::size_t lo =
+            next_block.fetch_add(1, std::memory_order_relaxed) *
+            kRecoveryBlock;
+        if (lo >= n) break;
+        const std::size_t hi = std::min(n, lo + kRecoveryBlock);
+        for (std::size_t i = lo; i < hi; ++i) {
+          Leaf* leaf = leaves[i];
+          if (!repair_leaf(leaf, crashed)) {
+            detail::recovery_counters().corrupt_leaves.inc();
+            torn.store(true, std::memory_order_relaxed);
+            break;
+          }
+          local_live += leaf->pslot[0];
+          if (leaf->has_high.load(std::memory_order_relaxed) != 0) {
+            has_sep[i] = 1;
+            sep[i] = leaf->high_key.load(std::memory_order_relaxed);
+          }
+        }
+        if (torn.load(std::memory_order_relaxed)) break;
+      }
+      live_total.fetch_add(local_live, std::memory_order_relaxed);
+    };
+
+    const unsigned workers = recovery_worker_count(n);
+    if (workers <= 1) {
+      work();
+    } else {
+      detail::recovery_counters().parallel_runs.inc();
+      detail::recovery_counters().workers.inc(workers);
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      struct Joiner {  // exception-safe even if a late emplace_back throws
+        std::vector<std::thread>& ts;
+        ~Joiner() {
+          for (auto& t : ts)
+            if (t.joinable()) t.join();
+        }
+      } joiner{pool};
+      for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
     }
-    if (leaves.empty()) throw std::runtime_error("RNTree::recover: no leaves");
-    if (separators.size() + 1 != leaves.size())
-      throw std::runtime_error("RNTree::recover: broken high_key chain");
-    size_.store(static_cast<std::int64_t>(live), std::memory_order_relaxed);
+    if (torn.load(std::memory_order_relaxed))
+      return fail_recovery("torn leaf (slot metadata out of range)");
+
+    // Phase 3 (serial): deterministic merge in chain-index order.
+    std::vector<Key> separators;
+    separators.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      if (has_sep[i] != 0) separators.push_back(sep[i]);
+    if (separators.size() + 1 != n)
+      return fail_recovery("broken high_key chain");
+    size_.store(
+        static_cast<std::int64_t>(live_total.load(std::memory_order_relaxed)),
+        std::memory_order_relaxed);
     inner_.bulk_load(leaves, separators);
+    return common::OkStatus();
   }
 
   /// Undo any split that was in flight at the crash: restore the logged
@@ -907,6 +1125,7 @@ class RNTree {
       nvm::UndoSlot& undo = pool_.undo_slot(t);
       if (undo.state != nvm::UndoSlot::kActive) continue;
       if (undo.data_size != sizeof(Leaf)) continue;  // another tree's slot
+      detail::recovery_counters().rollbacks.inc();
       Leaf* target = pool_.ptr<Leaf>(undo.target_off);
       nvm::copy_nvm(target, undo.data, sizeof(Leaf));
       nvm::persist(target, sizeof(Leaf));
@@ -916,12 +1135,19 @@ class RNTree {
     }
   }
 
+  /// Recovery workers claim leaves in blocks of this many: big enough to
+  /// amortise the cursor fetch_add, small enough to balance skewed chains.
+  static constexpr std::size_t kRecoveryBlock = 64;
+
   nvm::PmemPool& pool_;
   Options opt_;
   mutable epoch::EpochManager epochs_;
+  htm::StripeTable stripes_;
   inner::InnerTree<Key, Leaf> inner_;
   std::atomic<std::int64_t> size_{0};
   mutable TreeStats stats_;
+  common::Status recovery_status_;
+  const char* recovery_detail_ = "";
 };
 
 }  // namespace rnt::core

@@ -112,6 +112,10 @@ inline bool bounded_lock_wait(SpinLock& fallback, const RetryPolicy& policy,
                               HtmStats& st) noexcept {
   Backoff bo;
   for (std::uint32_t waited = 0; fallback.is_locked(); ++waited) {
+    // kLockWait marks the episode (the lock was held at all); the timeout
+    // cause below additionally marks episodes that hit the starvation cap.
+    // Together they make storm serialization visible per key range.
+    if (waited == 0) obs::heatmap_record(obs::HeatCause::kLockWait);
     if (waited >= policy.lock_wait_pauses) {
       ++st.lock_wait_timeouts;
       obs::heatmap_record(obs::HeatCause::kLockWaitTimeout);

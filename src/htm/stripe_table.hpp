@@ -1,0 +1,307 @@
+// Striped fallback-lock table for HTM lock elision (ROADMAP item 5a).
+//
+// The paper's design hangs every fallback on ONE global lock: a capacity-
+// abort storm on a single hot leaf drives every aborting writer onto that
+// lock and serializes the whole tree.  This table replaces it with a
+// power-of-two array of cacheline-padded SpinLocks keyed by leaf address
+// (same bucketing idiom as the obs heatmap): an RTM fast path subscribes
+// only to the stripe covering its leaf, so a storm degrades that stripe and
+// nothing else.
+//
+//   * stripe_of(leaf) hashes the leaf's address (cacheline-granular) with a
+//     splitmix64 finalizer onto [0, stripes).
+//   * One extra dedicated stripe — the SMO/root stripe — serializes
+//     structural changes (inner-node installs, bulk loads).  At stripes == 1
+//     it aliases stripe 0, so fallback_stripes=1 IS the single-global-lock
+//     baseline, selectable for the perf gate and the collapse measurement.
+//   * Lock order (deadlock freedom): leaf version-locks are always acquired
+//     before any stripe lock; multiple stripe locks are acquired in
+//     ascending index order (MultiStripeGuard) with the SMO stripe owning
+//     the highest index, so it is always last.  Stripe locks are leaves of
+//     the lock order: no code acquires a version-lock or another subsystem
+//     lock while holding one.
+//   * Stripe-aware retry policy: a stripe whose recent history is
+//     fallback-after-fallback (a storm) stops burning the full HTM retry
+//     budget — atomic_exec_striped tightens the policy to a single attempt
+//     until a transactional commit on that stripe clears the streak.
+//   * Attribution: StripeScope publishes the current stripe in TLS (for the
+//     storm-targeting injector below) and diffs the thread's HtmStats on
+//     exit into per-stripe cells + the htm.stripe.* registry counters, so a
+//     storm's serialization is visible per stripe, not just process-wide.
+//
+// Per-stripe statistic cells live in a separate padded array from the locks:
+// a subscriber's RTM read set holds the lock's cache line, and stats must
+// not dirty it on unrelated commits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "htm/abort_inject.hpp"
+#include "htm/rtm.hpp"
+#include "htm/spinlock.hpp"
+#include "obs/metrics.hpp"
+
+namespace rnt::htm {
+
+inline constexpr unsigned kMinFallbackStripes = 1;
+inline constexpr unsigned kMaxFallbackStripes = 4096;
+inline constexpr unsigned kDefaultFallbackStripes = 64;
+
+/// True iff @p n is an acceptable stripe count (power of two in range).
+inline bool stripe_valid_count(std::uint64_t n) noexcept {
+  return n >= kMinFallbackStripes && n <= kMaxFallbackStripes &&
+         (n & (n - 1)) == 0;
+}
+
+/// Registry counters for the striped-fallback machinery, shared by every
+/// table (pattern of htm.smo.*).
+struct StripeCounters {
+  obs::Counter acquisitions{"htm.stripe.acquisitions"};  ///< fallback CSs
+  obs::Counter fallbacks{"htm.stripe.fallbacks"};        ///< HTM -> lock
+  /// Bounded lock-waits that hit the starvation cap while a stripe scope
+  /// was armed: the stripe-attributed htm.lock_wait_timeouts variant.
+  obs::Counter wait_timeouts{"htm.stripe.wait_timeouts"};
+  obs::Counter multi_acquires{"htm.stripe.multi_acquires"};  ///< split paths
+  /// Storm streak tripped the stripe-aware policy (retry budget tightened).
+  obs::Counter policy_tightenings{"htm.stripe.policy_tightenings"};
+  obs::Gauge stripes{"htm.stripe.count"};  ///< most recent table's width
+};
+
+inline StripeCounters& stripe_counters() {
+  static StripeCounters c;
+  return c;
+}
+
+namespace detail {
+/// Current op's stripe index, published while an atomic_exec_striped (or a
+/// MultiStripeGuard's primary stripe) is in flight; -1 outside any scope.
+inline thread_local int t_current_stripe = -1;
+}  // namespace detail
+
+inline int current_stripe() noexcept { return detail::t_current_stripe; }
+
+/// Consecutive fallbacks on one stripe before the stripe-aware policy stops
+/// burning the full retry budget there.
+inline constexpr std::uint32_t kStormStreakThreshold = 3;
+
+class StripeTable {
+ public:
+  explicit StripeTable(unsigned stripes = kDefaultFallbackStripes)
+      : stripes_(stripes) {
+    if (!stripe_valid_count(stripes))
+      throw std::invalid_argument(
+          "StripeTable: stripe count must be a power of two in [1, 4096]");
+    locks_ = std::vector<PaddedLock>(lock_count());
+    stats_ = std::vector<PaddedStat>(lock_count());
+    stripe_counters().stripes.set(static_cast<std::int64_t>(stripes_));
+  }
+
+  StripeTable(const StripeTable&) = delete;
+  StripeTable& operator=(const StripeTable&) = delete;
+
+  unsigned count() const noexcept { return stripes_; }
+
+  /// Index of the dedicated SMO/root stripe — the highest index, so ordered
+  /// multi-stripe acquires always take it last.  Aliases stripe 0 when the
+  /// table is a single global lock.
+  unsigned smo_index() const noexcept { return stripes_ == 1 ? 0 : stripes_; }
+
+  /// Total distinct locks (leaf stripes + the SMO stripe when separate).
+  unsigned lock_count() const noexcept {
+    return stripes_ == 1 ? 1 : stripes_ + 1;
+  }
+
+  /// Leaf-address -> stripe index (cacheline-granular splitmix hash).
+  unsigned index_of(const void* leaf) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(leaf);
+    return static_cast<unsigned>(mix64(static_cast<std::uint64_t>(a) >> 6) &
+                                 (stripes_ - 1));
+  }
+
+  SpinLock& lock(unsigned idx) noexcept { return locks_[idx].lock; }
+  SpinLock& stripe_for(const void* leaf) noexcept {
+    return locks_[index_of(leaf)].lock;
+  }
+  SpinLock& smo_stripe() noexcept { return locks_[smo_index()].lock; }
+
+  /// True when @p idx's recent history is fallback-after-fallback: the
+  /// stripe-aware retry policy should go straight to the lock.
+  bool storm_bypassed(unsigned idx) const noexcept {
+    return stats_[idx].streak.load(std::memory_order_relaxed) >=
+           kStormStreakThreshold;
+  }
+
+  struct StripeStat {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t wait_timeouts = 0;
+  };
+  StripeStat stat(unsigned idx) const noexcept {
+    const PaddedStat& s = stats_[idx];
+    return {s.acquisitions.load(std::memory_order_relaxed),
+            s.fallbacks.load(std::memory_order_relaxed),
+            s.wait_timeouts.load(std::memory_order_relaxed)};
+  }
+
+  void account(unsigned idx, std::uint64_t acquisitions,
+               std::uint64_t fallbacks, std::uint64_t timeouts) noexcept {
+    PaddedStat& s = stats_[idx];
+    if (acquisitions)
+      s.acquisitions.fetch_add(acquisitions, std::memory_order_relaxed);
+    if (timeouts)
+      s.wait_timeouts.fetch_add(timeouts, std::memory_order_relaxed);
+    if (fallbacks) {
+      s.fallbacks.fetch_add(fallbacks, std::memory_order_relaxed);
+      s.streak.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.streak.load(std::memory_order_relaxed) != 0) {
+      // A storm ends with the first clean transactional commit.
+      s.streak.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) PaddedLock {
+    SpinLock lock;
+  };
+  struct alignas(64) PaddedStat {
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> wait_timeouts{0};
+    std::atomic<std::uint32_t> streak{0};
+    PaddedStat() = default;
+    PaddedStat(const PaddedStat&) {}  // vector-resize only, pre-use
+  };
+
+  unsigned stripes_;
+  std::vector<PaddedLock> locks_;
+  std::vector<PaddedStat> stats_;
+};
+
+/// RAII stripe-attribution scope: publishes the stripe in TLS (storm
+/// targeting) and, on exit, folds the thread's HtmStats delta into the
+/// table's per-stripe cells and the htm.stripe.* counters.
+class StripeScope {
+ public:
+  StripeScope(StripeTable& t, unsigned idx) noexcept
+      : table_(t), idx_(idx), prev_(detail::t_current_stripe) {
+    detail::t_current_stripe = static_cast<int>(idx);
+    const HtmStats& st = tls_htm_stats();
+    acq0_ = st.lock_acquisitions;
+    fb0_ = st.fallbacks;
+    to0_ = st.lock_wait_timeouts;
+  }
+  ~StripeScope() {
+    detail::t_current_stripe = prev_;
+    const HtmStats& st = tls_htm_stats();
+    const std::uint64_t acq = st.lock_acquisitions - acq0_;
+    const std::uint64_t fb = st.fallbacks - fb0_;
+    const std::uint64_t to = st.lock_wait_timeouts - to0_;
+    table_.account(idx_, acq, fb, to);
+    StripeCounters& c = stripe_counters();
+    if (acq) c.acquisitions.inc(acq);
+    if (fb) c.fallbacks.inc(fb);
+    if (to) c.wait_timeouts.inc(to);
+  }
+  StripeScope(const StripeScope&) = delete;
+  StripeScope& operator=(const StripeScope&) = delete;
+
+ private:
+  StripeTable& table_;
+  unsigned idx_;
+  int prev_;
+  std::uint64_t acq0_, fb0_, to0_;
+};
+
+/// atomic_exec against one stripe of @p t, with stripe attribution and the
+/// storm-aware policy: once a stripe's fallback streak crosses the
+/// threshold, attempts stop burning the full retry budget and go (almost)
+/// straight to the lock until an HTM commit clears the streak.
+template <typename Fn>
+void atomic_exec_striped(StripeTable& t, unsigned idx, Fn&& fn,
+                         const RetryPolicy& policy = default_retry_policy()) {
+  StripeScope scope(t, idx);
+  if (t.storm_bypassed(idx)) {
+    stripe_counters().policy_tightenings.inc();
+    const RetryPolicy tight{/*max_attempts=*/1, /*max_spurious_retries=*/0,
+                            /*lock_wait_pauses=*/policy.lock_wait_pauses};
+    atomic_exec(t.lock(idx), std::forward<Fn>(fn), tight);
+  } else {
+    atomic_exec(t.lock(idx), std::forward<Fn>(fn), policy);
+  }
+}
+
+/// Deadlock-free ordered acquire of up to three stripes (split paths: old
+/// leaf + new leaf + optionally the SMO stripe).  Indices are sorted
+/// ascending and deduplicated, so any two guards agree on acquisition order;
+/// the SMO stripe's highest index keeps it last.  Release is reverse order.
+class MultiStripeGuard {
+ public:
+  MultiStripeGuard(StripeTable& t, std::initializer_list<unsigned> indices)
+      : table_(t) {
+    for (unsigned idx : indices) add(idx);
+    sort_dedup();
+    for (int i = 0; i < n_; ++i) table_.lock(held_[i]).lock();
+    if (n_ > 1) stripe_counters().multi_acquires.inc();
+  }
+  ~MultiStripeGuard() { release(); }
+
+  /// Drop all held stripes ahead of scope exit (reverse order); idempotent.
+  /// Split paths release their leaf stripes before the SMO install so the
+  /// SMO stripe — which aliases stripe 0 when the table is a single global
+  /// lock — is never requested while a leaf stripe is held.
+  void release() noexcept {
+    for (int i = n_ - 1; i >= 0; --i) table_.lock(held_[i]).unlock();
+    n_ = 0;
+  }
+
+  MultiStripeGuard(const MultiStripeGuard&) = delete;
+  MultiStripeGuard& operator=(const MultiStripeGuard&) = delete;
+
+  int held() const noexcept { return n_; }
+
+ private:
+  void add(unsigned idx) {
+    if (n_ < kMax) held_[n_++] = idx;
+  }
+  void sort_dedup() noexcept {
+    for (int i = 1; i < n_; ++i)  // insertion sort, n <= 3
+      for (int j = i; j > 0 && held_[j] < held_[j - 1]; --j)
+        std::swap(held_[j], held_[j - 1]);
+    int out = 0;
+    for (int i = 0; i < n_; ++i)
+      if (out == 0 || held_[i] != held_[out - 1]) held_[out++] = held_[i];
+    n_ = out;
+  }
+
+  static constexpr int kMax = 3;
+  StripeTable& table_;
+  unsigned held_[kMax] = {};
+  int n_ = 0;
+};
+
+/// Injector adapter that fires an inner injector only on transactions whose
+/// StripeScope targets @p hot_stripe: the scripted capacity-abort storm hits
+/// one stripe and every other stripe's traffic commits untouched.
+class StripeStormInjector final : public AbortInjector {
+ public:
+  StripeStormInjector(AbortInjector& inner, int hot_stripe) noexcept
+      : inner_(inner), hot_(hot_stripe) {}
+
+  std::optional<AbortCause> on_attempt(int attempt) override {
+    if (current_stripe() != hot_) return std::nullopt;
+    return inner_.on_attempt(attempt);
+  }
+
+ private:
+  AbortInjector& inner_;
+  int hot_;
+};
+
+}  // namespace rnt::htm

@@ -86,9 +86,15 @@ class InnerTree {
   /// @p cow_install selects the COW fast path for splits (default).  false
   /// routes every SMO through the serialized whole-path rebuild — the
   /// pre-COW behaviour, kept for before/after measurement and the
-  /// linearizability test's pre-COW leg.
-  explicit InnerTree(epoch::EpochManager& epochs, bool cow_install = true)
-      : epochs_(epochs), cow_install_(cow_install) {}
+  /// linearizability test's pre-COW leg.  @p smo_lock, when given, replaces
+  /// the internal SMO fallback lock — the owning tree routes structural
+  /// changes through its stripe table's dedicated SMO stripe so leaf-path
+  /// and SMO fallbacks share one lock-order domain (stripe_table.hpp).
+  explicit InnerTree(epoch::EpochManager& epochs, bool cow_install = true,
+                     htm::SpinLock* smo_lock = nullptr)
+      : epochs_(epochs),
+        smo_lock_(smo_lock != nullptr ? *smo_lock : own_smo_lock_),
+        cow_install_(cow_install) {}
 
   ~InnerTree() { free_subtree(root_.load(std::memory_order_relaxed)); }
 
@@ -489,7 +495,10 @@ class InnerTree {
   std::atomic<Node*> root_{nullptr};
   /// SMO fallback lock: install transactions subscribe to it (atomic_exec),
   /// the serialized whole-path rebuild and bulk_load hold it outright.
-  htm::SpinLock smo_lock_;
+  /// Standalone InnerTrees own theirs; trees with a stripe table pass their
+  /// dedicated SMO stripe in, so the reference is the one true lock.
+  htm::SpinLock own_smo_lock_;
+  htm::SpinLock& smo_lock_;
   const bool cow_install_;
 };
 

@@ -113,7 +113,8 @@ std::uint64_t bucket_score(const std::uint64_t* c) noexcept {
          c[static_cast<int>(HeatCause::kCapacity)] +
          c[static_cast<int>(HeatCause::kOther)] +
          c[static_cast<int>(HeatCause::kFallback)] +
-         c[static_cast<int>(HeatCause::kLockWaitTimeout)];
+         c[static_cast<int>(HeatCause::kLockWaitTimeout)] +
+         c[static_cast<int>(HeatCause::kLockWait)];
 }
 
 // Caller holds r.mu.
@@ -178,6 +179,7 @@ const char* to_string(HeatCause c) noexcept {
     case HeatCause::kOther: return "aborts_other";
     case HeatCause::kFallback: return "fallbacks";
     case HeatCause::kLockWaitTimeout: return "lock_wait_timeouts";
+    case HeatCause::kLockWait: return "lock_waits";
     case HeatCause::kOp: return "ops";
   }
   return "?";

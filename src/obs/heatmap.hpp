@@ -53,9 +53,10 @@ enum class HeatCause : std::uint8_t {
   kOther,              ///< spurious / lock-subscription abort
   kFallback,           ///< fallback-lock acquisition
   kLockWaitTimeout,    ///< bounded lock-wait hit the starvation cap
+  kLockWait,           ///< bounded lock-wait actually spun (lock was held)
   kOp,                 ///< an operation targeted this bucket
 };
-inline constexpr int kHeatCauseCount = 6;
+inline constexpr int kHeatCauseCount = 7;
 
 const char* to_string(HeatCause c) noexcept;
 

@@ -71,6 +71,14 @@ class ShardedTree {
     /// means "whole 64-bit space" (top-bits shift).  Benchmarks that draw
     /// keys from [0, N) should set this or every key lands in shard 0.
     std::uint64_t key_space = 0;
+    /// Forwarded to every member tree: each shard gets its OWN fallback
+    /// stripe table of this many stripes (abort storms stay local to a
+    /// shard AND to a stripe within it).  1 = per-shard global lock.
+    unsigned fallback_stripes = htm::kDefaultFallbackStripes;
+    /// Forwarded to every member tree (see RNTree::Options): recovery
+    /// worker threads per shard.  Shards recover sequentially; each
+    /// shard's leaf rebuild parallelises internally.
+    int recovery_workers = 0;
   };
 
   /// Create a fresh sharded tree: shard i is a fresh RNTree rooted at pool
@@ -81,8 +89,7 @@ class ShardedTree {
     detail::set_shard_count_gauge(opt_.shards);
     shards_.reserve(static_cast<std::size_t>(opt_.shards));
     for (int s = 0; s < opt_.shards; ++s)
-      shards_.push_back(std::make_unique<Tree>(
-          pool_, typename Tree::Options{opt_.dual_slot, s}));
+      shards_.push_back(std::make_unique<Tree>(pool_, member_options(s)));
   }
 
   /// Recover all shards from @p pool.  The shutdown state is sampled ONCE
@@ -102,8 +109,7 @@ class ShardedTree {
             "sharded tree: pool has no root for shard " + std::to_string(s) +
             " (was it created with fewer shards?)");
       shards_.push_back(std::make_unique<Tree>(
-          typename Tree::recover_t{}, pool_, crashed,
-          typename Tree::Options{opt_.dual_slot, s}));
+          typename Tree::recover_t{}, pool_, crashed, member_options(s)));
     }
   }
 
@@ -294,6 +300,18 @@ class ShardedTree {
     int lg = 0;
     while ((1 << lg) < v) ++lg;
     return lg;
+  }
+
+  /// Member-tree options for shard @p s (explicit field assignment: the
+  /// member Options struct grows fields over time and positional init
+  /// silently stops forwarding the tail).
+  typename Tree::Options member_options(int s) const {
+    typename Tree::Options o;
+    o.dual_slot = opt_.dual_slot;
+    o.root_slot = s;
+    o.fallback_stripes = opt_.fallback_stripes;
+    o.recovery_workers = opt_.recovery_workers;
+    return o;
   }
 
   Tree& route(Key k) {

@@ -71,14 +71,25 @@ struct Ctx {
   /// FPTree's HTM fallback lock, one per shard (global when shards == 1):
   /// a conflict storm on shard i serializes only shard i's traversals.
   std::vector<SimMutex> fallbacks;
+  /// RNTree models' striped publish fallback locks: fallback_stripes per
+  /// shard (one per shard = the pre-stripe global-lock baseline).
+  std::vector<SimMutex> stripes;
   std::uint32_t tid_base = 0;  ///< trace track base for this run's workers
   std::size_t inject_leaf = ~std::size_t{0};  ///< scripted-conflict target
+  /// Hot leaf set for the storm: leaves with stripe_ref(leaf) == hot_ref
+  /// under the FIXED kStormRef-way mapping (config-independent, so the
+  /// striped and global runs classify the same ops as hot/cold).
+  static constexpr std::size_t kStormRef = 64;
+  std::size_t hot_ref = ~std::size_t{0};
+  std::vector<std::size_t> hot_leaves;  ///< members of the hot leaf set
   // aggregated results
   std::uint64_t completed = 0;
   std::uint64_t find_retries = 0;
   std::uint64_t htm_fallbacks = 0;
   std::uint64_t smo_count = 0;
   std::uint64_t aborts_capacity = 0;
+  std::uint64_t hot_ops = 0;
+  std::uint64_t cold_ops = 0;
   LatencyHistogram read_latency;
   LatencyHistogram update_latency;
 
@@ -88,10 +99,33 @@ struct Ctx {
         channels(c.nvm_channels, c.costs.persist, c.costs.persist_occupancy),
         leaves(static_cast<std::size_t>(
             std::max<std::uint64_t>(1, c.keys / c.keys_per_leaf))),
-        fallbacks(static_cast<std::size_t>(std::max(1, c.shards))) {
+        fallbacks(static_cast<std::size_t>(std::max(1, c.shards))),
+        stripes(static_cast<std::size_t>(std::max(1, c.shards)) *
+                static_cast<std::size_t>(std::max(1, c.fallback_stripes))) {
     if (c.inject.enabled)
       inject_leaf = static_cast<std::size_t>(mix64(c.inject.key ^ 0x9E37) %
                                              leaves.size());
+    if (c.storm.enabled) {
+      hot_ref = stripe_hash(static_cast<std::size_t>(
+                    mix64(c.storm.key ^ 0x9E37) % leaves.size())) %
+                kStormRef;
+      for (std::size_t l = 0; l < leaves.size(); ++l)
+        if (stripe_hash(l) % kStormRef == hot_ref) hot_leaves.push_back(l);
+    }
+  }
+
+  /// Same hash for the configured stripe index and the reference mapping:
+  /// at fallback_stripes == kStormRef the hot set IS exactly one stripe.
+  static std::size_t stripe_hash(std::size_t leaf_idx) noexcept {
+    return static_cast<std::size_t>(
+        mix64(static_cast<std::uint64_t>(leaf_idx) ^ 0x5151));
+  }
+  SimMutex& stripe_of(std::size_t shard_idx, std::size_t leaf_idx) {
+    const auto n = static_cast<std::size_t>(std::max(1, cfg.fallback_stripes));
+    return stripes[shard_idx * n + stripe_hash(leaf_idx) % n];
+  }
+  bool storm_hot(std::size_t leaf_idx) const noexcept {
+    return cfg.storm.enabled && stripe_hash(leaf_idx) % kStormRef == hot_ref;
   }
 };
 
@@ -160,7 +194,13 @@ Task worker(Ctx& ctx, int wid) {
     const bool is_update =
         rng.next_below(100) < static_cast<std::uint64_t>(ctx.cfg.update_pct);
     const KeyGen::Pick pick = keys.next();
-    const std::size_t leaf_idx = pick.leaf;
+    std::size_t leaf_idx = pick.leaf;
+    // Storm traffic skew: hot_pct% of every worker's ops are redirected at
+    // the hot leaf set; the uniform remainder is the cold traffic whose
+    // survival the fallback ablation measures.
+    if (ctx.cfg.storm.enabled && !ctx.hot_leaves.empty() &&
+        rng.next_below(100) < ctx.cfg.storm.hot_pct)
+      leaf_idx = ctx.hot_leaves[rng.next_below(ctx.hot_leaves.size())];
     LeafSim& leaf = ctx.leaves[leaf_idx];
     const std::size_t shard_idx = leaf_idx % static_cast<std::size_t>(n_shards);
     SimMutex& fallback = ctx.fallbacks[shard_idx];
@@ -212,6 +252,52 @@ Task worker(Ctx& ctx, int wid) {
           co_await Delay{s, d};
         }
         co_await Delay{s, c.leaf_search + c.slot_update};
+        // Striped fallback elision (bench_ablation_fallback): the slot
+        // publish runs as an HTM transaction subscribed to this leaf's
+        // stripe fallback lock — it cannot start while a fallback holder is
+        // inside (the abort-and-spin subscription idiom).  With one stripe
+        // this wait is what couples every publish to a storm elsewhere.
+        SimMutex& stripe_mx = ctx.stripe_of(shard_idx, leaf_idx);
+        bool stripe_held = false;
+        if (stripe_mx.locked()) {
+          // Lock-subscription abort: a subscribed publish cannot elide while
+          // a fallback holder is inside, and under a sustained storm
+          // retrying is hopeless — it joins the FIFO and publishes under
+          // the lock itself.  This is the convoy that collapses the
+          // single-global-lock baseline: one hot holder turns every
+          // concurrent publish on the same stripe into a fallback holder.
+          const SimTime tw = s.now();
+          co_await stripe_mx.acquire(s);
+          ph.add(obs::Phase::kLockWait, s.now() - tw);
+          stripe_held = true;
+          ctx.htm_fallbacks++;
+          sm.fallbacks.inc();
+          obs::heatmap_record_at(pick.key, obs::HeatCause::kFallback);
+        }
+        // Scripted capacity-abort storm: hot-set publishes capacity-abort
+        // per attempt with storm.permille; after two aborts retrying is
+        // hopeless and the publish escalates to the stripe fallback lock,
+        // held across the flush (the serialization being measured).
+        if (!stripe_held && ctx.storm_hot(leaf_idx)) {
+          int aborts = 0;
+          while (aborts < 2 &&
+                 rng.next_below(1000) < ctx.cfg.storm.permille) {
+            ++aborts;
+            ctx.aborts_capacity++;
+            sm.aborts_capacity.inc();
+            obs::heatmap_record_at(pick.key, obs::HeatCause::kCapacity);
+            co_await Delay{s, c.backoff};
+          }
+          if (aborts >= 2) {
+            const SimTime tl = s.now();
+            co_await stripe_mx.acquire(s);
+            ph.add(obs::Phase::kLockWait, s.now() - tl);
+            stripe_held = true;
+            ctx.htm_fallbacks++;
+            sm.fallbacks.inc();
+            obs::heatmap_record_at(pick.key, obs::HeatCause::kFallback);
+          }
+        }
         // Group persistency (batch > 1): the slot flush defers its fence to
         // the batch barrier — it pays channel occupancy only (the clwb), and
         // every batch-th modify pays one full persist as the trailing
@@ -262,6 +348,7 @@ Task worker(Ctx& ctx, int wid) {
           }
           leaf.pub_seq++;
         }
+        if (stripe_held) stripe_mx.release(s);
         if (rng.next_below(32) == 0) {  // amortised compaction
           const SimTime t0 = s.now();
           co_await Delay{s, c.compact};
@@ -451,6 +538,8 @@ Task worker(Ctx& ctx, int wid) {
     else
       ctx.read_latency.record(latency);
     ctx.completed++;
+    if (ctx.cfg.storm.enabled)
+      (ctx.storm_hot(leaf_idx) ? ctx.hot_ops : ctx.cold_ops)++;
     sm.ops.inc();
     (is_update ? sm.updates : sm.finds).inc();
     if (obs::phase_timing_enabled())
@@ -495,6 +584,8 @@ SimResult run_simulation(const SimConfig& cfg) {
   res.htm_fallbacks = ctx.htm_fallbacks;
   res.smo_count = ctx.smo_count;
   res.aborts_capacity = ctx.aborts_capacity;
+  res.hot_stripe_ops = ctx.hot_ops;
+  res.cold_stripe_ops = ctx.cold_ops;
   return res;
 }
 

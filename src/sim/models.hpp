@@ -81,6 +81,29 @@ struct SimConfig {
   /// leaf critical section (the decoupled design of S3.4) instead of the
   /// paper's overlapped placement.  Applies to the RNTree models only.
   bool flush_inside_lock = false;
+  /// Fallback-lock striping (bench_ablation_fallback): the RNTree models'
+  /// slot publish runs as an HTM transaction subscribed to one of this many
+  /// per-shard stripe fallback locks, keyed by leaf hash.  1 = the single
+  /// global fallback lock (the pre-stripe baseline).  Use 64 to align the
+  /// configured stripes with the storm's fixed 64-way hot-set mapping.
+  int fallback_stripes = 1;
+  /// Scripted capacity-abort storm (bench_ablation_fallback): ops landing
+  /// on the hot leaf set — the leaves sharing @p key's stripe under a FIXED
+  /// 64-way reference mapping, so hot/cold classification is identical
+  /// across stripe configurations — capacity-abort with probability
+  /// @p permille per attempt; two aborts escalate to the CONFIGURED stripe
+  /// fallback lock, held across the publish.  With one stripe every cold
+  /// op's publish subscribes to that same lock and collapses; with 64
+  /// stripes only the hot set serializes.
+  struct Storm {
+    bool enabled = false;
+    std::uint64_t key = 0;
+    std::uint32_t permille = 800;
+    /// Share of each worker's ops redirected at the hot leaf set (the
+    /// skewed traffic that makes the storm a storm); the rest stays
+    /// uniform and is the "cold" traffic whose survival is measured.
+    std::uint32_t hot_pct = 30;
+  } storm;
   /// Scripted conflict injection (heatmap validation): every op that lands
   /// on @p key's leaf suffers @p aborts simulated conflict aborts and then a
   /// fallback, attributed to the heatmap like the real retry machine's.
@@ -117,7 +140,12 @@ struct SimResult {
   std::uint64_t find_retries = 0;
   std::uint64_t htm_fallbacks = 0;
   std::uint64_t smo_count = 0;         ///< SMOs executed (smo.enabled)
-  std::uint64_t aborts_capacity = 0;   ///< capacity aborts in SMO txns
+  std::uint64_t aborts_capacity = 0;   ///< capacity aborts in SMO/storm txns
+  /// Storm accounting (storm.enabled): completed ops split by membership in
+  /// the hot leaf set (fixed 64-way reference mapping — comparable across
+  /// fallback_stripes settings).
+  std::uint64_t hot_stripe_ops = 0;
+  std::uint64_t cold_stripe_ops = 0;
 };
 
 /// Run one deterministic simulation.

@@ -340,6 +340,32 @@ TEST(CrashSweepDoubleCrash, WbTreeSoStrict) {
   sweep_double_crash<WbTreeSoAdapter>(nvm::EvictionMode::kNone, 0);
 }
 
+// Forces every recovery in the double-crash sweep through the multi-worker
+// rebuild (recovery_workers=4 disables the small-tree serial threshold, and
+// explicit counts are clamped only by 64-leaf blocks, not host cores).  The
+// sweep's trees are ~20 leaves, so all workers race over one block — small,
+// but the parallel partition/merge machinery and its rollback still run at
+// every crash-during-recovery point, pinning idempotence of the parallel
+// path specifically.
+struct RnTreeParallelRecoveryAdapter : RnTreeAdapter<true> {
+  static constexpr const char* kName = "rntree-parallel-recovery";
+  static std::unique_ptr<Tree> recover(nvm::PmemPool& p) {
+    return std::make_unique<Tree>(
+        typename Tree::recover_t{}, p,
+        typename Tree::Options{.dual_slot = true, .recovery_workers = 4});
+  }
+};
+
+TEST(CrashSweepDoubleCrash, RnTreeDualParallelRecoveryStrict) {
+  sweep_double_crash<RnTreeParallelRecoveryAdapter>(nvm::EvictionMode::kNone,
+                                                    0);
+}
+
+TEST(CrashSweepDoubleCrash, RnTreeDualParallelRecoveryRandomEviction) {
+  sweep_double_crash<RnTreeParallelRecoveryAdapter>(
+      nvm::EvictionMode::kRandomEviction, 11);
+}
+
 // ---------------------------------------------------------------------------
 // Fresh-construction sweep: crash at every event of building a tree on a
 // fresh pool.  Because mark_dirty() precedes the first mutation, every

@@ -40,6 +40,7 @@
 #include "core/rntree.hpp"
 #include "htm/abort_inject.hpp"
 #include "htm/smo.hpp"
+#include "htm/stripe_table.hpp"
 #include "nvm/persist.hpp"
 #include "nvm/pool.hpp"
 #include "shard/sharded_tree.hpp"
@@ -210,6 +211,11 @@ bool pool_exhausted_result(const R& r) {
 enum class FaultMode {
   kGlobalAborts,   ///< every transaction, moderate rate (the original mode)
   kSmoAbortStorm,  ///< SMO install transactions only, storm rate
+  /// Transactions whose StripeScope targets stripe 0 only, storm rate: the
+  /// striped-fallback analogue of the SMO storm.  Publishes on the hot
+  /// stripe retry/fall back constantly while every other stripe commits
+  /// untouched; none of it may be visible to the oracle.
+  kStripeStorm,
 };
 
 /// Fault-injected stream: like run_stream, but with seeded random HTM abort
@@ -220,11 +226,14 @@ template <typename Adapter>
 std::optional<std::string> run_fault_stream(const std::vector<Op>& ops,
                                             std::uint64_t seed,
                                             FaultMode mode) {
-  const bool storm = mode == FaultMode::kSmoAbortStorm;
+  const bool storm = mode != FaultMode::kGlobalAborts;
   htm::RandomAbortInjector inj(seed, /*abort_permille=*/storm ? 800 : 300);
   htm::SmoTargetedInjector smo_only(inj);
-  htm::ScopedAbortInjector scope(
-      storm ? static_cast<htm::AbortInjector*>(&smo_only) : &inj);
+  htm::StripeStormInjector stripe_only(inj, /*hot_stripe=*/0);
+  htm::AbortInjector* chosen = &inj;
+  if (mode == FaultMode::kSmoAbortStorm) chosen = &smo_only;
+  if (mode == FaultMode::kStripeStorm) chosen = &stripe_only;
+  htm::ScopedAbortInjector scope(chosen);
 
   nvm::PmemPool pool(std::size_t{2} << 20);  // minimum size: ~1 MiB of data
   auto tree = Adapter::make(pool);
@@ -428,6 +437,25 @@ struct RnAdapter {
   }
 };
 
+// Explicit stripe-count adapter for the stripe-storm legs: 2 stripes makes
+// nearly every split span two stripe locks, 1 aliases the SMO stripe onto
+// the single global lock (the release-before-install split path).
+template <unsigned Stripes>
+struct RnStripeAdapter {
+  static RN::Options opts() {
+    RN::Options o;
+    o.dual_slot = true;
+    o.fallback_stripes = Stripes;
+    return o;
+  }
+  static std::unique_ptr<RN> make(nvm::PmemPool& p) {
+    return std::make_unique<RN>(p, opts());
+  }
+  static std::unique_ptr<RN> recover(nvm::PmemPool& p) {
+    return std::make_unique<RN>(RN::recover_t{}, p, opts());
+  }
+};
+
 // Pre-COW serialized SMO path (cow_smo=false): baseline for the SMO abort
 // storm legs.
 struct RnLegacySmoAdapter {
@@ -545,6 +573,24 @@ TEST_F(DifferentialTest, FaultCowSmoSingleSlot) {
 TEST_F(DifferentialTest, FaultCowSmoLegacyPath) {
   run_fault_differential<RnLegacySmoAdapter>("rntree-legacy-smostorm",
                                              FaultMode::kSmoAbortStorm);
+}
+
+// Stripe storms: 800-permille seeded aborts aimed ONLY at transactions
+// whose StripeScope targets stripe 0.  The hot stripe's publishes live on
+// the fallback lock while every other stripe elides; splits cross stripe
+// boundaries (2 stripes) or alias the SMO stripe (1 stripe); none of it
+// may diverge from the oracle.
+TEST_F(DifferentialTest, FaultStripeStormDefaultStripes) {
+  run_fault_differential<RnAdapter<true>>("rntree-dual-stripestorm",
+                                          FaultMode::kStripeStorm);
+}
+TEST_F(DifferentialTest, FaultStripeStormTwoStripes) {
+  run_fault_differential<RnStripeAdapter<2>>("rntree-2stripe-storm",
+                                             FaultMode::kStripeStorm);
+}
+TEST_F(DifferentialTest, FaultStripeStormGlobalAlias) {
+  run_fault_differential<RnStripeAdapter<1>>("rntree-global-storm",
+                                             FaultMode::kStripeStorm);
 }
 
 }  // namespace

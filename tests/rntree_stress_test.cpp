@@ -195,5 +195,69 @@ TEST_P(RNTreeStressTest, SplitStormWithTrailingReaders) {
   tree_->check_invariants();
 }
 
+TEST_P(RNTreeStressTest, CrossStripeSplitStorm) {
+  // Striped fallback locks at their most adversarial: 2 stripes, so nearly
+  // every split's MultiStripeGuard spans both stripe locks while
+  // concurrent writers publish against each, and the SMO install runs
+  // after the guard's early release.  Two writers insert disjoint
+  // scrambled keyspaces (split-heavy), one writer hammers updates on a
+  // settled prefix (publish-heavy), one reader sweeps.  Run under TSan
+  // this is the cross-stripe lock-order/race check; under a plain build it
+  // is a lost-key/invariant check.
+  nvm::PmemPool pool(std::size_t{512} << 20);
+  Tree::Options opt;
+  opt.dual_slot = GetParam();
+  opt.fallback_stripes = 2;
+  Tree tree(pool, opt);
+  constexpr std::uint64_t kSettled = 2000;
+  for (std::uint64_t i = 0; i < kSettled; ++i)
+    ASSERT_TRUE(tree.upsert(mix64(i), encode(mix64(i) & 0xFFFFFFFFFFFFull, 0)));
+
+  constexpr std::uint64_t kInsertsPerWriter = 8000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn_reads{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kInsertsPerWriter; ++i) {
+        const std::uint64_t k = mix64((w + 1) * 0x100000000ull + i);
+        ASSERT_TRUE(tree.insert(k, encode(k & 0xFFFFFFFFFFFFull, i)));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    std::uint64_t seq = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t k = mix64(seq % kSettled);
+      ASSERT_TRUE(tree.update(k, encode(k & 0xFFFFFFFFFFFFull, seq)));
+      ++seq;
+    }
+  });
+  threads.emplace_back([&] {
+    Xoshiro256 rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t k = mix64(rng.next_below(kSettled));
+      const auto v = tree.find(k);
+      if (!v.has_value() || (*v >> 16) != (k & 0xFFFFFFFFFFFFull))
+        torn_reads.fetch_add(1);
+    }
+  });
+  threads[0].join();
+  threads[1].join();
+  stop.store(true, std::memory_order_release);
+  threads[2].join();
+  threads[3].join();
+
+  EXPECT_EQ(torn_reads.load(), 0u);
+  EXPECT_EQ(tree.size(), kSettled + 2 * kInsertsPerWriter);
+  tree.check_invariants();
+  for (std::uint64_t i = 0; i < kInsertsPerWriter; ++i) {
+    for (int w = 0; w < 2; ++w) {
+      const std::uint64_t k = mix64((w + 1) * 0x100000000ull + i);
+      ASSERT_TRUE(tree.find(k).has_value()) << "lost key, writer " << w;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rnt::core

@@ -270,6 +270,55 @@ TEST(SimModels, CowSmoOutscalesInplaceAtHighCores) {
   EXPECT_GT(inp.htm_fallbacks, 0u);
 }
 
+// --- striped fallback locks under a capacity-abort storm ----------------
+
+SimConfig storm_config(int stripes, std::uint32_t permille) {
+  SimConfig cfg;
+  cfg.model = TreeModel::kRNTreeDS;
+  cfg.threads = 16;
+  cfg.keys = 20'000;
+  cfg.keys_per_leaf = 48;
+  cfg.update_pct = 100;
+  cfg.horizon_ns = 20'000'000;
+  cfg.fallback_stripes = stripes;
+  cfg.storm.enabled = true;  // classification + 30% hot-set traffic skew
+  cfg.storm.key = 7;
+  cfg.storm.permille = permille;  // 0 = calm baseline, same traffic
+  return cfg;
+}
+
+double storm_cold_ratio(int stripes) {
+  const SimResult calm = run_simulation(storm_config(stripes, 0));
+  const SimResult storm = run_simulation(storm_config(stripes, 800));
+  EXPECT_GT(calm.cold_stripe_ops, 0u);
+  return static_cast<double>(storm.cold_stripe_ops) /
+         static_cast<double>(calm.cold_stripe_ops);
+}
+
+TEST(SimModels, StripedFallbackSurvivesCapacityStormGlobalCollapses) {
+  // The robustness tentpole's deterministic assertion (also exported by
+  // bench_ablation_fallback and enforced by smoke_fallback_storm): under a
+  // permille-800 capacity-abort storm pinned to one stripe, cold traffic
+  // keeps >= 0.5x of its calm throughput when fallbacks are striped, while
+  // the single global fallback lock convoys everyone and collapses.
+  const double striped = storm_cold_ratio(64);
+  const double global = storm_cold_ratio(1);
+  EXPECT_GE(striped, 0.5) << "storm leaked past the hot stripe";
+  EXPECT_LT(global, 0.5) << "global baseline failed to collapse";
+  EXPECT_LT(global, striped);
+}
+
+TEST(SimModels, StormRunsAreDeterministic) {
+  const SimResult a = run_simulation(storm_config(64, 800));
+  const SimResult b = run_simulation(storm_config(64, 800));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.cold_stripe_ops, b.cold_stripe_ops);
+  EXPECT_EQ(a.hot_stripe_ops, b.hot_stripe_ops);
+  EXPECT_EQ(a.htm_fallbacks, b.htm_fallbacks);
+  EXPECT_GT(a.htm_fallbacks, 0u) << "storm never escalated to the lock";
+  EXPECT_GT(a.hot_stripe_ops, 0u);
+}
+
 TEST(SimModels, ReadIntensiveMixFavoursDualSlot) {
   // Fig 8(c): 90% reads, skewed — RNTree+DS near-linear, others behind.
   SimConfig ds = base_config(TreeModel::kRNTreeDS, 16, 0.8);

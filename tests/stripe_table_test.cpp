@@ -1,0 +1,261 @@
+// Striped fallback-lock table (htm/stripe_table.hpp): validation, SMO-stripe
+// aliasing, ordered multi-stripe acquisition, stripe attribution, the
+// storm-aware retry policy, the storm-targeting injector, and the RNTree
+// Options surface that selects the stripe count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/rntree.hpp"
+#include "htm/rtm.hpp"
+#include "htm/stripe_table.hpp"
+#include "nvm/pool.hpp"
+#include "obs/heatmap.hpp"
+
+namespace rnt {
+namespace {
+
+using htm::MultiStripeGuard;
+using htm::StripeTable;
+
+TEST(StripeTableTest, ValidatesStripeCount) {
+  EXPECT_TRUE(htm::stripe_valid_count(1));
+  EXPECT_TRUE(htm::stripe_valid_count(2));
+  EXPECT_TRUE(htm::stripe_valid_count(64));
+  EXPECT_TRUE(htm::stripe_valid_count(4096));
+  EXPECT_FALSE(htm::stripe_valid_count(0));
+  EXPECT_FALSE(htm::stripe_valid_count(3));
+  EXPECT_FALSE(htm::stripe_valid_count(100));
+  EXPECT_FALSE(htm::stripe_valid_count(8192));
+  EXPECT_THROW(StripeTable(0), std::invalid_argument);
+  EXPECT_THROW(StripeTable(3), std::invalid_argument);
+  EXPECT_THROW(StripeTable(8192), std::invalid_argument);
+}
+
+TEST(StripeTableTest, SmoStripeAliasesGlobalAtOne) {
+  StripeTable global(1);
+  EXPECT_EQ(global.count(), 1u);
+  EXPECT_EQ(global.smo_index(), 0u);
+  EXPECT_EQ(global.lock_count(), 1u);
+  EXPECT_EQ(&global.smo_stripe(), &global.lock(0));
+
+  StripeTable striped(64);
+  EXPECT_EQ(striped.count(), 64u);
+  EXPECT_EQ(striped.smo_index(), 64u);
+  EXPECT_EQ(striped.lock_count(), 65u);
+  EXPECT_NE(&striped.smo_stripe(), &striped.lock(0));
+}
+
+TEST(StripeTableTest, IndexOfIsCachelineGranularAndInRange) {
+  StripeTable t(64);
+  alignas(64) char block[64 * 128];
+  std::vector<bool> hit(64, false);
+  for (int i = 0; i < 128; ++i) {
+    const unsigned idx = t.index_of(block + 64 * i);
+    ASSERT_LT(idx, 64u);
+    hit[idx] = true;
+    // Everything inside one cache line maps to the same stripe.
+    EXPECT_EQ(t.index_of(block + 64 * i + 32), idx);
+    EXPECT_EQ(t.index_of(block + 64 * i + 63), idx);
+  }
+  int distinct = 0;
+  for (bool h : hit) distinct += h;
+  EXPECT_GT(distinct, 8) << "hash degenerated onto a handful of stripes";
+}
+
+TEST(StripeTableTest, MultiStripeGuardSortsAndDedups) {
+  StripeTable t(64);
+  {
+    MultiStripeGuard g(t, {5, 2, 5});
+    EXPECT_EQ(g.held(), 2);
+    EXPECT_TRUE(t.lock(2).is_locked());
+    EXPECT_TRUE(t.lock(5).is_locked());
+    g.release();
+    EXPECT_EQ(g.held(), 0);
+    EXPECT_FALSE(t.lock(2).is_locked());
+    EXPECT_FALSE(t.lock(5).is_locked());
+    g.release();  // idempotent; destructor is a further no-op
+  }
+  // At stripes == 1 a leaf stripe and the SMO stripe are the same lock; the
+  // guard must collapse them instead of self-deadlocking.
+  StripeTable global(1);
+  MultiStripeGuard g(global, {0, global.smo_index()});
+  EXPECT_EQ(g.held(), 1);
+}
+
+TEST(StripeTableTest, MultiStripeGuardOrderIsDeadlockFree) {
+  StripeTable t(8);
+  std::atomic<bool> stop{false};
+  std::atomic<int> acquired{0};
+  std::thread a([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MultiStripeGuard g(t, {1, 6});
+      acquired.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread b([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MultiStripeGuard g(t, {6, 1});  // reversed request order
+      acquired.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  while (acquired.load(std::memory_order_relaxed) < 2000)
+    std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  a.join();
+  b.join();
+  EXPECT_FALSE(t.lock(1).is_locked());
+  EXPECT_FALSE(t.lock(6).is_locked());
+}
+
+TEST(StripeTableTest, StripeScopePublishesAndRestoresTls) {
+  StripeTable t(8);
+  EXPECT_EQ(htm::current_stripe(), -1);
+  {
+    htm::StripeScope outer(t, 3);
+    EXPECT_EQ(htm::current_stripe(), 3);
+    {
+      htm::StripeScope inner(t, 5);
+      EXPECT_EQ(htm::current_stripe(), 5);
+    }
+    EXPECT_EQ(htm::current_stripe(), 3);
+  }
+  EXPECT_EQ(htm::current_stripe(), -1);
+}
+
+struct AlwaysCapacity final : htm::AbortInjector {
+  int fired = 0;
+  std::optional<htm::AbortCause> on_attempt(int) override {
+    ++fired;
+    return htm::AbortCause::kCapacity;
+  }
+};
+
+// An always-capacity injector forces every elision attempt onto the
+// fallback lock, so the attribution assertions hold on RTM hosts (where a
+// clean transaction would never touch the lock) and on the software tier
+// (which takes the lock regardless) alike.
+TEST(StripeTableTest, AtomicExecStripedAttributesToTheStripe) {
+  StripeTable t(8);
+  AlwaysCapacity cap;
+  htm::ScopedAbortInjector scoped(&cap);
+  const auto before = t.stat(3);
+  int ran = 0;
+  htm::atomic_exec_striped(t, 3, [&] {
+    ++ran;
+    EXPECT_EQ(htm::current_stripe(), 3);
+  });
+  EXPECT_EQ(ran, 1);
+  const auto after = t.stat(3);
+  EXPECT_GT(after.acquisitions, before.acquisitions);
+  EXPECT_GT(after.fallbacks, before.fallbacks);
+  EXPECT_EQ(t.stat(4).acquisitions, 0u) << "attribution leaked to stripe 4";
+}
+
+TEST(StripeTableTest, StormStreakTightensRetryPolicy) {
+  StripeTable t(8);
+  AlwaysCapacity cap;
+  htm::ScopedAbortInjector scoped(&cap);
+  EXPECT_FALSE(t.storm_bypassed(2));
+  for (std::uint32_t i = 0; i < htm::kStormStreakThreshold; ++i)
+    htm::atomic_exec_striped(t, 2, [] {});
+  EXPECT_TRUE(t.storm_bypassed(2));
+  EXPECT_FALSE(t.storm_bypassed(3));
+  const std::uint64_t tight0 =
+      htm::stripe_counters().policy_tightenings.value();
+  htm::atomic_exec_striped(t, 2, [] {});
+  EXPECT_GT(htm::stripe_counters().policy_tightenings.value(), tight0);
+}
+
+TEST(StripeTableTest, StormInjectorFiresOnlyOnTheHotStripe) {
+  StripeTable t(8);
+  AlwaysCapacity inner;
+  htm::StripeStormInjector storm(inner, /*hot_stripe=*/5);
+  EXPECT_FALSE(storm.on_attempt(0).has_value()) << "fired outside any scope";
+  {
+    htm::StripeScope cold(t, 4);
+    EXPECT_FALSE(storm.on_attempt(0).has_value());
+  }
+  {
+    htm::StripeScope hot(t, 5);
+    const auto cause = storm.on_attempt(0);
+    ASSERT_TRUE(cause.has_value());
+    EXPECT_EQ(*cause, htm::AbortCause::kCapacity);
+  }
+  EXPECT_EQ(inner.fired, 1);
+}
+
+TEST(StripeTableTest, BoundedLockWaitRecordsLockWaitHeat) {
+  ASSERT_TRUE(obs::heatmap_configure(
+      {.buckets = 64, .by_leaf = false, .key_space = 0,
+       .decay_half_life_s = 0.0}));
+  obs::set_heatmap_enabled(true);
+  {
+    obs::HeatScope scope(123);
+    htm::SpinLock lk;
+    lk.lock();
+    htm::RetryPolicy p;
+    p.lock_wait_pauses = 2;
+    htm::HtmStats st;
+    EXPECT_FALSE(htm::detail::bounded_lock_wait(lk, p, st));
+    EXPECT_EQ(st.lock_wait_timeouts, 1u);
+    lk.unlock();
+  }
+  const obs::HeatmapSnapshot snap = obs::heatmap_snapshot();
+  obs::set_heatmap_enabled(false);
+  obs::heatmap_reset();
+  EXPECT_GE(snap.totals[static_cast<int>(obs::HeatCause::kLockWait)], 1u);
+  EXPECT_GE(snap.totals[static_cast<int>(obs::HeatCause::kLockWaitTimeout)],
+            1u);
+}
+
+TEST(StripeTableTest, TreeExposesAndValidatesStripeOptions) {
+  nvm::PmemPool pool(64 << 20);
+  using Tree = core::RNTree<std::uint64_t, std::uint64_t>;
+  Tree::Options opt;
+  opt.fallback_stripes = 1;
+  {
+    Tree tree(pool, opt);
+    EXPECT_EQ(tree.fallback_stripes(), 1u);
+  }
+  nvm::PmemPool pool2(64 << 20);
+  {
+    Tree tree(pool2, Tree::Options{});
+    EXPECT_EQ(tree.fallback_stripes(), htm::kDefaultFallbackStripes);
+    EXPECT_LT(tree.stripe_of_key(42), tree.fallback_stripes());
+  }
+  nvm::PmemPool pool3(64 << 20);
+  Tree::Options bad;
+  bad.fallback_stripes = 3;
+  EXPECT_THROW(Tree tree(pool3, bad), std::invalid_argument);
+}
+
+// Split-heavy traffic at tiny stripe counts exercises the ordered
+// multi-stripe split path (old leaf + new leaf often land on DIFFERENT
+// stripes at 2, and alias the SMO stripe at 1) — the tree must stay
+// structurally sound either way.
+TEST(StripeTableTest, SplitsStayCorrectAcrossStripeBoundaries) {
+  using Tree = core::RNTree<std::uint64_t, std::uint64_t>;
+  for (unsigned stripes : {1u, 2u}) {
+    nvm::PmemPool pool(64 << 20);
+    Tree::Options opt;
+    opt.fallback_stripes = stripes;
+    Tree tree(pool, opt);
+    constexpr std::uint64_t kN = 4000;
+    for (std::uint64_t i = 0; i < kN; ++i)
+      ASSERT_TRUE(tree.insert(mix64(i), i).ok()) << "stripes=" << stripes;
+    tree.check_invariants();
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      auto v = tree.find(mix64(i));
+      ASSERT_TRUE(v.has_value()) << "stripes=" << stripes << " i=" << i;
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnt

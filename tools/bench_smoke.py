@@ -4,6 +4,7 @@
 Usage:
     bench_smoke.py [--schema=stats|gate] [--telemetry] [--introspect]
                    [--require-structure] [--group-persistency] [--require-smo]
+                   [--fallback-storm] [--recovery-parallel]
                    [--expect-usage-error] <binary> [bench flags...]
 
 Appends the JSON-export flag (--stats-json=FILE, or --gate-json=FILE for
@@ -43,6 +44,17 @@ htm.smo.* cause family and record at least one committed COW install
 (htm.smo.installs >= 1) — the smoke-level proof that structure
 modifications went through the copy-on-write install path and exported
 their telemetry.
+
+With --fallback-storm (stats schema only) meta must carry the deterministic
+DES cold-traffic ratios storm_cold_ratio_striped (>= 0.5) and
+storm_cold_ratio_global (strictly below striped) — the machine-checkable
+form of the striped-fallback-lock robustness claim.
+
+With --recovery-parallel (stats schema only) recovery.parallel_runs must
+tick (the multi-worker crash-recovery path actually ran), the measured
+serial/parallel timings must be exported, and meta.recovery_sim_speedup —
+the deterministic virtual-time model of the block partition — must be
+>= 2.5.
 
 With --expect-usage-error the binary must exit 2 and print a usage message;
 no JSON flag is appended.  Covers flag-validation hygiene (--sample-ms=0,
@@ -152,6 +164,7 @@ HEAT_CAUSES = [
     "aborts_other",
     "fallbacks",
     "lock_wait_timeouts",
+    "lock_waits",
     "ops",
 ]
 
@@ -262,6 +275,53 @@ def validate_smo(doc):
            "htm.smo.installs is 0 — no COW install committed during smoke")
 
 
+def meta_num(meta, key):
+    v = meta.get(key)
+    if isinstance(v, str):
+        try:
+            v = float(v)
+        except ValueError:
+            fail(f"meta.{key} is not numeric: {v!r}")
+    expect(is_num(v), f"meta.{key} missing or not a number")
+    return v
+
+
+def validate_fallback_storm(doc):
+    """bench_ablation_fallback's DES panel is deterministic, so its exported
+    cold-traffic survival ratios are asserted: striping keeps cold stripes
+    >= 0.5x of calm throughput under the capacity-abort storm while the
+    single global fallback lock does strictly worse."""
+    meta = doc["meta"]
+    striped = meta_num(meta, "storm_cold_ratio_striped")
+    glbl = meta_num(meta, "storm_cold_ratio_global")
+    expect(striped >= 0.5,
+           f"striped cold-traffic ratio {striped} < 0.5 under the storm")
+    expect(glbl < striped,
+           f"global fallback lock ratio ({glbl}) not below striped "
+           f"({striped}) — the storm failed to collapse the baseline")
+
+
+def validate_recovery_parallel(doc):
+    """fig7's parallel-recovery extension: the multi-worker crash-recovery
+    path must actually run (recovery.parallel_runs ticks), export serial and
+    parallel timings, and the deterministic virtual-time model must show the
+    >= 2.5x speed-up (wall-clock speed-up is host-core bound, so only the
+    timings are required, not their ratio)."""
+    meta = doc["meta"]
+    expect(meta_num(meta, "recovery_serial_ms") > 0,
+           "meta.recovery_serial_ms not positive")
+    expect(meta_num(meta, "recovery_parallel_ms") > 0,
+           "meta.recovery_parallel_ms not positive")
+    sim_speedup = meta_num(meta, "recovery_sim_speedup")
+    expect(sim_speedup >= 2.5,
+           f"simulated recovery speedup {sim_speedup} < 2.5")
+    counters = doc["counters"]
+    expect(counters.get("recovery.parallel_runs", 0) >= 1,
+           "recovery.parallel_runs is 0 — the parallel path never ran")
+    expect(counters.get("recovery.workers", 0) >= 2,
+           "recovery.workers < 2 — no multi-worker recovery recorded")
+
+
 def validate_gate(doc):
     expect(isinstance(doc, dict), "document is not a JSON object")
     meta = doc.get("meta")
@@ -282,6 +342,8 @@ def main():
     require_structure = False
     group_persistency = False
     require_smo = False
+    fallback_storm = False
+    recovery_parallel = False
     expect_usage_error = False
     while args and args[0].startswith("--"):
         if args[0].startswith("--schema="):
@@ -301,6 +363,12 @@ def main():
         elif args[0] == "--require-smo":
             require_smo = True
             args.pop(0)
+        elif args[0] == "--fallback-storm":
+            fallback_storm = True
+            args.pop(0)
+        elif args[0] == "--recovery-parallel":
+            recovery_parallel = True
+            args.pop(0)
         elif args[0] == "--expect-usage-error":
             expect_usage_error = True
             args.pop(0)
@@ -308,7 +376,7 @@ def main():
             break
     if schema not in ("stats", "gate") or not args or (
             (telemetry or introspect or require_structure or group_persistency
-             or require_smo)
+             or require_smo or fallback_storm or recovery_parallel)
             and schema != "stats"):
         print(__doc__, file=sys.stderr)
         return 2
@@ -363,6 +431,10 @@ def main():
             validate_group_persistency(doc)
         if require_smo:
             validate_smo(doc)
+        if fallback_storm:
+            validate_fallback_storm(doc)
+        if recovery_parallel:
+            validate_recovery_parallel(doc)
         mode = ", telemetry" if telemetry else ""
         if introspect:
             mode += ", introspect"
@@ -372,6 +444,10 @@ def main():
             mode += ", group-persistency"
         if require_smo:
             mode += ", smo"
+        if fallback_storm:
+            mode += ", fallback-storm"
+        if recovery_parallel:
+            mode += ", recovery-parallel"
         print(f"bench_smoke: OK ({os.path.basename(binary)}, "
               f"schema={schema}{mode})")
         return 0

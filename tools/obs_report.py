@@ -14,6 +14,8 @@ Reads one stats document (src/obs/export.hpp shape) and prints:
   * a tail-latency table for every "lat.*" histogram (count, mean,
     p50/p90/p99/p999 in both ns and human units),
   * an HTM abort-cause breakdown from the htm.* counters,
+  * striped fallback-lock activity (htm.stripe.*) and crash-recovery
+    counters (recovery.*) when the run recorded any,
   * a contention heatmap table from "heatmap" — the hottest buckets ranked
     by contention score with per-cause counts and an ASCII heat bar — when
     the bench ran with --heatmap-buckets=N,
@@ -146,6 +148,40 @@ def print_aborts(counters):
         print(f"  fallbacks     {fmt_si(fb):>10}")
 
 
+def print_stripes(counters, gauges):
+    acq = counters.get("htm.stripe.acquisitions", 0)
+    if not acq:
+        return
+    print(f"\n== fallback stripes ({gauges.get('htm.stripe.count', '?')} "
+          f"configured) ==")
+    rows = [
+        ("acquisitions", acq),
+        ("fallbacks", counters.get("htm.stripe.fallbacks", 0)),
+        ("wait_timeouts", counters.get("htm.stripe.wait_timeouts", 0)),
+        ("multi_acquires", counters.get("htm.stripe.multi_acquires", 0)),
+        ("policy_tightenings", counters.get("htm.stripe.policy_tightenings", 0)),
+    ]
+    for name, v in rows:
+        print(f"  {name:<19} {fmt_si(v):>10}")
+
+
+def print_recovery(counters):
+    runs = counters.get("recovery.runs", 0)
+    if not runs:
+        return
+    print("\n== recovery ==")
+    rows = [
+        ("runs", runs),
+        ("parallel_runs", counters.get("recovery.parallel_runs", 0)),
+        ("workers", counters.get("recovery.workers", 0)),
+        ("leaves", counters.get("recovery.leaves", 0)),
+        ("corrupt_leaves", counters.get("recovery.corrupt_leaves", 0)),
+        ("rollbacks", counters.get("recovery.rollbacks", 0)),
+    ]
+    for name, v in rows:
+        print(f"  {name:<15} {fmt_si(v):>10}")
+
+
 def heat_bar(score, hi, width=24):
     if hi <= 0:
         return ""
@@ -164,7 +200,8 @@ def print_heatmap(hm):
           f"capacity {fmt_si(ev.get('aborts_capacity', 0))}, "
           f"other {fmt_si(ev.get('aborts_other', 0))}, "
           f"fallback {fmt_si(ev.get('fallbacks', 0))}, "
-          f"lock-wait {fmt_si(ev.get('lock_wait_timeouts', 0))})")
+          f"lock-wait {fmt_si(ev.get('lock_waits', 0))}, "
+          f"lock-timeout {fmt_si(ev.get('lock_wait_timeouts', 0))})")
     top = hm.get("top", [])
     if not top:
         print("  (no bucket recorded any event)")
@@ -234,6 +271,8 @@ def main():
         print("\n(no timeseries section — run the bench with --sample-ms=N)")
     print_latency(doc.get("histograms", {}))
     print_aborts(doc.get("counters", {}))
+    print_stripes(doc.get("counters", {}), doc.get("gauges", {}))
+    print_recovery(doc.get("counters", {}))
     hm = doc.get("heatmap")
     if isinstance(hm, dict):
         print_heatmap(hm)
